@@ -1,0 +1,95 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4 and EXPERIMENTS.md).  The harnesses:
+
+* run the full pipeline (generate → partition → traverse on the simulated
+  cluster) at laptop scale,
+* print the same rows/series the paper reports, so the output can be compared
+  side by side with the original figure, and
+* attach the headline numbers to ``benchmark.extra_info`` so
+  ``pytest benchmarks/ --benchmark-only --benchmark-json=...`` captures them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+try:  # allow running from an uninstalled checkout
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.degree import out_degrees
+from repro.graph.rmat import generate_rmat
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), max(len(_fmt(r.get(k))) for r in rows)) for k in keys}
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def paper_regime_hardware():
+    """Hardware spec for the scaling figures (9, 10, 11).
+
+    The paper's per-GPU subgraphs are ~2^12 times larger than this
+    reproduction's, so at full scale per-message latencies and kernel-launch
+    overheads are negligible and messages are large enough to reach peak
+    network efficiency.  To study the same bandwidth-vs-computation regime at
+    laptop scale we shrink the fixed overheads by the same factor as the
+    workload and disable the small-message efficiency penalty; bandwidths and
+    traversal throughputs are unchanged.
+    """
+    from dataclasses import replace
+
+    from repro.cluster.hardware import HardwareSpec
+
+    return replace(HardwareSpec().with_scaled_overheads(1 / 4096), min_efficiency=1.0)
+
+
+def high_degree_source(edges) -> int:
+    """A deterministic, well-connected BFS source (the paper filters sources
+    that do not traverse more than one iteration)."""
+    return int(np.argmax(out_degrees(edges)))
+
+
+@pytest.fixture(scope="session")
+def rmat_bench_graphs():
+    """Cache of prepared RMAT graphs shared by several benchmarks."""
+    cache = {}
+
+    def get(scale: int, seed: int = 11):
+        key = (scale, seed)
+        if key not in cache:
+            cache[key] = generate_rmat(scale, rng=seed)
+        return cache[key]
+
+    return get

@@ -1,0 +1,61 @@
+"""Figure 5 — edge/delegate distribution vs degree threshold (RMAT).
+
+The paper plots, for a scale-30 RMAT graph, the percentage of dd, dn/nd and
+nn edges and of delegate vertices as the degree threshold sweeps from 1 to
+~2M.  This benchmark regenerates the same four series on a scale-16 RMAT
+graph (same generator, reduced scale).
+
+Expected shape: at TH=1 essentially all edges are dd and most non-isolated
+vertices are delegates; as TH grows, dd% falls and nn% rises monotonically,
+dn/nd% rises then falls (a hump in the middle), and the delegate percentage
+falls toward zero.  The paper's "suitable range" is where delegates are a few
+percent and nn edges are still below ~10%.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.partition.delegates import census_for_thresholds, threshold_candidates
+from repro.graph.degree import out_degrees
+
+
+def test_fig05_edge_distribution(benchmark, rmat_bench_graphs):
+    scale = 16
+    edges = rmat_bench_graphs(scale)
+    max_degree = int(out_degrees(edges).max())
+    thresholds = [int(t) for t in threshold_candidates(max_degree)]
+
+    def sweep():
+        return [
+            {
+                "threshold": c.threshold,
+                "dd_pct": c.dd_percentage,
+                "dn_nd_pct": c.nd_dn_percentage,
+                "nn_pct": c.nn_percentage,
+                "delegates_pct": c.delegate_percentage,
+                "num_delegates": c.num_delegates,
+            }
+            for c in census_for_thresholds(edges, thresholds)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(f"Figure 5: edge/delegate distribution vs TH (RMAT scale {scale})", rows)
+
+    # Shape assertions.
+    assert rows[0]["dd_pct"] > 90.0
+    assert rows[-1]["nn_pct"] > 99.0
+    nn = [r["nn_pct"] for r in rows]
+    dd = [r["dd_pct"] for r in rows]
+    delegates = [r["delegates_pct"] for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(nn, nn[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(dd, dd[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(delegates, delegates[1:]))
+    hump = max(r["dn_nd_pct"] for r in rows)
+    assert hump > rows[0]["dn_nd_pct"] and hump > rows[-1]["dn_nd_pct"]
+    # A mid-range threshold exists with few delegates yet <10% nn edges.  (At
+    # laptop scale the delegate percentage is naturally higher than the 1.75%
+    # the paper reports at scale 33, because the degree distribution is
+    # compressed; the qualitative band still exists.)
+    assert any(r["delegates_pct"] < 15.0 and r["nn_pct"] < 10.0 for r in rows)
+    benchmark.extra_info["max_dn_nd_pct"] = hump

@@ -1,0 +1,76 @@
+"""Figure 6 — traversal rate vs degree threshold, BFS and DOBFS.
+
+The paper sweeps TH in [16, 256] on a scale-30 RMAT graph over 16 GPUs
+(4x1x4) and shows a wide plateau of near-optimal thresholds (45–90), with
+DOBFS well above plain BFS throughout.  This benchmark runs the same sweep on
+a scale-14 graph over 16 virtual GPUs and reports geometric-mean GTEPS.
+
+Expected shape: DOBFS beats BFS at every threshold by a substantial factor,
+and the rate varies only mildly (well within 2x) across the swept thresholds —
+the "wide range of suitable TH" observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import paper_regime_hardware, print_table
+
+from repro.core.engine import DistributedBFS
+from repro.core.options import BFSOptions
+from repro.graph.degree import out_degrees
+from repro.partition.layout import ClusterLayout
+from repro.partition.subgraphs import build_partitions
+from repro.perfmodel.teps import rmat_counted_edges
+from repro.utils.rng import random_sources
+from repro.utils.stats import geometric_mean
+
+
+def test_fig06_threshold_sweep(benchmark, rmat_bench_graphs):
+    scale = 14
+    edges = rmat_bench_graphs(scale)
+    layout = ClusterLayout.from_notation("4x1x4")
+    counted = rmat_counted_edges(scale)
+    sources = random_sources(
+        edges.num_vertices, 4, rng=3, degrees=out_degrees(edges)
+    )
+    thresholds = [16, 32, 64, 128, 256]
+    hardware = paper_regime_hardware()
+
+    def sweep():
+        rows = []
+        for th in thresholds:
+            graph = build_partitions(edges, layout, th)
+            row = {"threshold": th}
+            for label, opts in [
+                ("bfs_gteps", BFSOptions(direction_optimized=False)),
+                ("dobfs_gteps", BFSOptions(direction_optimized=True)),
+            ]:
+                engine = DistributedBFS(graph, options=opts, hardware=hardware)
+                rates = [
+                    r.gteps(counted)
+                    for r in (engine.run(int(s)) for s in sources)
+                    if r.traversed_more_than_one_iteration()
+                ]
+                row[label] = geometric_mean(rates)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Figure 6: traversal rate vs TH (RMAT scale {scale}, {layout.notation()})", rows
+    )
+
+    # DOBFS wins at every threshold, by a large factor at the good thresholds.
+    assert all(r["dobfs_gteps"] > r["bfs_gteps"] for r in rows)
+    do_rates = [r["dobfs_gteps"] for r in rows]
+    best = max(do_rates)
+    assert best > 2.0 * rows[int(np.argmax(do_rates))]["bfs_gteps"]
+    # A band of near-optimal thresholds exists: at least two thresholds land
+    # within 1.5x of the best DOBFS rate.  (The paper's band at full scale is
+    # [45, 90]; at laptop scale the band sits at the lower thresholds because
+    # the delegate masks that would punish small TH are only kilobytes here.)
+    assert sum(1 for r in do_rates if r > best / 1.5) >= 2
+    benchmark.extra_info["best_dobfs_gteps"] = max(do_rates)
+    benchmark.extra_info["speedup_over_bfs"] = float(
+        np.mean([r["dobfs_gteps"] / r["bfs_gteps"] for r in rows])
+    )

@@ -1,0 +1,55 @@
+"""Figure 7 — suggested degree thresholds for different RMAT scales.
+
+The paper recommends thresholds per scale along the weak-scaling curve (one
+scale-26 subgraph per GPU, so the GPU count is ``2^(N-26)``), keeping the
+delegate percentage under the ``4n/p`` line and the nn-edge percentage small;
+the suggested TH grows roughly as sqrt(2) per scale.  This benchmark applies
+the same rule at laptop scale (scale-11 per GPU) and prints the suggested TH
+with the resulting delegate and nn-edge percentages.
+
+Expected shape: TH is non-decreasing in scale; the delegate percentage stays
+below the 4n/p line (= 400/2^(N-11) percent here); the nn-edge percentage
+stays below ~10%.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.graph.rmat import generate_rmat
+from repro.partition.delegates import census_for_thresholds, suggest_threshold
+
+
+def test_fig07_suggested_thresholds(benchmark):
+    scale_per_gpu = 11
+    scales = [11, 12, 13, 14, 15]
+
+    def sweep():
+        rows = []
+        for scale in scales:
+            edges = generate_rmat(scale, rng=11)
+            num_gpus = 2 ** (scale - scale_per_gpu)
+            th = suggest_threshold(edges, num_gpus=num_gpus)
+            census = census_for_thresholds(edges, [th])[0]
+            rows.append(
+                {
+                    "scale": scale,
+                    "gpus": num_gpus,
+                    "suggested_TH": th,
+                    "delegates_pct": census.delegate_percentage,
+                    "nn_pct": census.nn_percentage,
+                    "budget_4n_over_p_pct": 100.0 * 4 / num_gpus,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Figure 7: suggested TH per scale (weak-scaling GPU counts)", rows)
+
+    ths = [r["suggested_TH"] for r in rows]
+    assert all(a <= b for a, b in zip(ths, ths[1:])), "suggested TH must not shrink with scale"
+    assert ths[-1] > ths[0], "suggested TH must grow along the weak-scaling curve"
+    for r in rows:
+        assert r["delegates_pct"] <= r["budget_4n_over_p_pct"] + 1e-9
+        assert r["nn_pct"] <= 10.0 + 1e-9
+    benchmark.extra_info["suggested_range"] = f"{ths[0]}..{ths[-1]}"

@@ -1,0 +1,91 @@
+"""Figure 8 — effect of runtime options on the per-phase runtime.
+
+The paper's Figure 8 stacks the four runtime components (computation, local
+communication, remote normal exchange, remote delegate reduce) for option
+combinations {none, DO, DO+L, DO+L+U} × {IR, BR} on a scale-32 RMAT graph
+with 64 GPUs in 16x2x2 and 16x1x4 configurations.  This benchmark runs the
+same ablation on a scale-14 graph over 16 virtual GPUs with a low-overhead
+hardware spec (the regime the paper's billion-edge graphs are in).
+
+Expected shape:
+* DO cuts the computation component by roughly 3x;
+* L and U add a little local time without changing remote volume much
+  (the threshold is low enough that duplicates are rare);
+* BR (blocking reduction) spends less time in the delegate reduce than IR.
+"""
+
+from __future__ import annotations
+
+from conftest import high_degree_source, print_table
+
+from repro.cluster.hardware import HardwareSpec
+from repro.core.engine import DistributedBFS
+from repro.core.options import BFSOptions
+from repro.partition.layout import ClusterLayout
+from repro.partition.subgraphs import build_partitions
+
+LOW_OVERHEAD = HardwareSpec(kernel_overhead_s=2e-7, iteration_overhead_s=2e-7)
+
+ABLATION = [
+    ("IR", BFSOptions(direction_optimized=False, blocking_reduce=False)),
+    ("DO IR", BFSOptions(direction_optimized=True, blocking_reduce=False)),
+    ("DO L IR", BFSOptions(local_all2all=True, blocking_reduce=False)),
+    ("DO L U IR", BFSOptions(local_all2all=True, uniquify=True, blocking_reduce=False)),
+    ("BR", BFSOptions(direction_optimized=False, blocking_reduce=True)),
+    ("DO BR", BFSOptions(direction_optimized=True, blocking_reduce=True)),
+    ("DO L BR", BFSOptions(local_all2all=True, blocking_reduce=True)),
+    ("DO L U BR", BFSOptions(local_all2all=True, uniquify=True, blocking_reduce=True)),
+]
+
+
+def _run_ablation(edges, layout, source):
+    graph = build_partitions(edges, layout, threshold=64)
+    rows = []
+    for label, opts in ABLATION:
+        result = DistributedBFS(graph, options=opts, hardware=LOW_OVERHEAD).run(source)
+        rows.append(
+            {
+                "options": label,
+                "layout": layout.notation(),
+                "computation_ms": result.timing.computation,
+                "local_comm_ms": result.timing.local_communication,
+                "remote_normal_ms": result.timing.remote_normal_exchange,
+                "remote_delegate_ms": result.timing.remote_delegate_reduce,
+                "elapsed_ms": result.timing.elapsed_ms,
+            }
+        )
+    return rows
+
+
+def test_fig08_option_ablation(benchmark, rmat_bench_graphs):
+    scale = 14
+    edges = rmat_bench_graphs(scale)
+    source = high_degree_source(edges)
+
+    def run():
+        rows = []
+        for notation in ["4x2x2", "4x1x4"]:
+            rows.extend(_run_ablation(edges, ClusterLayout.from_notation(notation), source))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Figure 8: option ablation (RMAT scale {scale}, 16 GPUs)", rows)
+
+    by_key = {(r["layout"], r["options"]): r for r in rows}
+    for layout in ["4x2x2", "4x1x4"]:
+        plain = by_key[(layout, "BR")]
+        do = by_key[(layout, "DO BR")]
+        # DO cuts computation by ~3x (paper: "DO cuts the computation time by
+        # a factor of three").
+        assert do["computation_ms"] < 0.5 * plain["computation_ms"]
+        # Blocking reduction spends no more time in the delegate reduce than IR.
+        assert (
+            by_key[(layout, "DO BR")]["remote_delegate_ms"]
+            <= by_key[(layout, "DO IR")]["remote_delegate_ms"] + 1e-12
+        )
+        # L and U do not blow up the elapsed time (they did not help in the
+        # paper either, because duplicates are rare at the chosen TH).
+        assert by_key[(layout, "DO L U BR")]["elapsed_ms"] < 2.0 * do["elapsed_ms"]
+    benchmark.extra_info["do_computation_cut_4x2x2"] = (
+        by_key[("4x2x2", "BR")]["computation_ms"] / by_key[("4x2x2", "DO BR")]["computation_ms"]
+    )

@@ -1,0 +1,81 @@
+"""Figure 10 — runtime breakdown along the weak-scaling curve.
+
+The paper decomposes the DOBFS and BFS runtimes into computation, local
+communication, remote normal exchange and remote delegate reduce for scales
+26–33 (1 to 124 GPUs) and observes: local computation grows slowly (about 4x
+over 7 scale doublings for DOBFS), communication grows somewhat faster, and
+because of overlap the parts sum exceeds the elapsed time.  This benchmark
+prints the same decomposition for scales 11–15 on 1–16 virtual GPUs.
+
+Expected shape: computation grows by well under the 16x cluster-size factor
+across the sweep; the communication components appear once more than one rank
+participates; and elapsed < sum of parts at every point (overlap).
+"""
+
+from __future__ import annotations
+
+from conftest import paper_regime_hardware, print_table
+
+from repro.core.options import BFSOptions
+from repro.perfmodel.scaling import weak_scaling_sweep
+
+GPU_COUNTS = [1, 2, 4, 8, 16]
+
+
+def test_fig10_runtime_breakdown(benchmark):
+    hardware = paper_regime_hardware()
+
+    def run():
+        rows = []
+        for do in (True, False):
+            points = weak_scaling_sweep(
+                scale_per_gpu=11,
+                gpu_counts=GPU_COUNTS,
+                gpus_per_rank=2,
+                options=BFSOptions(direction_optimized=do),
+                hardware=hardware,
+                num_sources=3,
+                seed=23,
+            )
+            for point in points:
+                b = point.breakdown
+                rows.append(
+                    {
+                        "algorithm": "DOBFS" if do else "BFS",
+                        "scale": point.scale,
+                        "gpus": point.num_gpus,
+                        "computation_ms": b.computation,
+                        "local_comm_ms": b.local_communication,
+                        "remote_normal_ms": b.remote_normal_exchange,
+                        "remote_delegate_ms": b.remote_delegate_reduce,
+                        "parts_sum_ms": b.parts_sum(),
+                        "elapsed_ms": b.elapsed_ms,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Figure 10: runtime breakdown along the weak-scaling curve", rows)
+
+    for algo in ("DOBFS", "BFS"):
+        series = [r for r in rows if r["algorithm"] == algo]
+        comp_growth = series[-1]["computation_ms"] / series[0]["computation_ms"]
+        # Computation grows much slower than the 16x increase in graph size
+        # (the paper sees ~4x over a 124x increase).
+        assert comp_growth < 8.0
+        # Overlap: elapsed never exceeds the sum of parts.
+        assert all(r["elapsed_ms"] <= r["parts_sum_ms"] + 1e-9 for r in series)
+        # Remote communication only exists once several ranks participate.
+        single_gpu = series[0]
+        assert single_gpu["remote_normal_ms"] == 0.0
+        assert single_gpu["remote_delegate_ms"] == 0.0
+        multi = series[-1]
+        assert multi["remote_normal_ms"] + multi["remote_delegate_ms"] > 0.0
+    do_final = [r for r in rows if r["algorithm"] == "DOBFS"][-1]
+    bfs_final = [r for r in rows if r["algorithm"] == "BFS"][-1]
+    # DOBFS computes less than plain BFS at the largest configuration.
+    assert do_final["computation_ms"] < bfs_final["computation_ms"]
+    benchmark.extra_info["dobfs_comp_growth"] = (
+        [r for r in rows if r["algorithm"] == "DOBFS"][-1]["computation_ms"]
+        / [r for r in rows if r["algorithm"] == "DOBFS"][0]["computation_ms"]
+    )

@@ -1,0 +1,63 @@
+"""§IV-B / §VI-B — direction-switching factor sweep.
+
+The paper scans the three per-subgraph direction-switching factors from 1e-8
+to 10 and finds "a wide range of near-optimal values", settling on
+(0.5, 0.05, 1e-7) for the dd, dn and nd subgraphs.  This benchmark sweeps the
+dd factor (the dominant one, since dd carries most of the edges at the tuned
+threshold) over the same range while keeping the paper's values for the other
+two, and reports elapsed time and examined edges.
+
+Expected shape: a wide plateau — every factor at or below ~1 lands within a
+modest band of the best elapsed time; only disabling the switch entirely
+(huge factor0, so the dd kernel never goes backward) loses the workload
+saving and examines several times more edges.
+"""
+
+from __future__ import annotations
+
+from conftest import high_degree_source, print_table
+
+from repro.cluster.hardware import HardwareSpec
+from repro.core.engine import DistributedBFS
+from repro.core.options import BFSOptions, DirectionFactors
+from repro.partition.layout import ClusterLayout
+from repro.partition.subgraphs import build_partitions
+
+LOW_OVERHEAD = HardwareSpec(kernel_overhead_s=2e-7, iteration_overhead_s=2e-7)
+
+
+def test_direction_factor_sweep(benchmark, rmat_bench_graphs):
+    scale = 14
+    edges = rmat_bench_graphs(scale)
+    layout = ClusterLayout.from_notation("2x1x2")
+    graph = build_partitions(edges, layout, threshold=64)
+    source = high_degree_source(edges)
+    factors = [1e-8, 1e-4, 0.05, 0.5, 10.0, 1e12]
+
+    def sweep():
+        rows = []
+        for f0 in factors:
+            opts = BFSOptions(dd_factors=DirectionFactors(factor0=f0, factor1=1e-13))
+            result = DistributedBFS(graph, options=opts, hardware=LOW_OVERHEAD).run(source)
+            rows.append(
+                {
+                    "dd_factor0": f0,
+                    "elapsed_ms": result.elapsed_ms,
+                    "edges_examined": result.total_edges_examined,
+                    "dd_edges_examined": result.workload_by_kernel()["dd"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(f"Direction-switching factor sweep (RMAT scale {scale})", rows)
+
+    plateau = [r for r in rows if r["dd_factor0"] <= 10.0]
+    best = min(r["elapsed_ms"] for r in plateau)
+    worst_plateau = max(r["elapsed_ms"] for r in plateau)
+    # Wide near-optimal range: everything up to factor0=10 is within 2x of best.
+    assert worst_plateau < 2.0 * best
+    # Effectively disabling the switch (factor0=1e12) throws away the saving.
+    disabled = rows[-1]
+    assert disabled["dd_edges_examined"] > 2.0 * min(r["dd_edges_examined"] for r in plateau)
+    benchmark.extra_info["plateau_spread"] = worst_plateau / best

@@ -1,0 +1,50 @@
+"""§VI-A1 — network behaviour vs message size.
+
+The paper sweeps MPI message sizes from 128 kB to 16 MB on 32 nodes and finds
+that "the optimal message size is about 4 MB for data larger than 2 MB", with
+small messages benefitting from caching.  This benchmark sweeps the same
+range through the reproduction's :class:`NetworkModel` and prints effective
+bandwidth and transfer efficiency per message size.
+
+Expected shape: efficiency rises monotonically with message size, crosses 95%
+around the 4 MB optimum, and the marginal gain beyond 4 MB is small.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.cluster.netmodel import NetworkModel
+
+
+def test_network_message_size_sweep(benchmark):
+    model = NetworkModel()
+
+    def sweep():
+        rows = []
+        for exp in range(17, 25):  # 128 kB .. 16 MB
+            nbytes = float(1 << exp)
+            eff = model.message_efficiency(nbytes)
+            rows.append(
+                {
+                    "message_MB": nbytes / 1e6,
+                    "efficiency": eff,
+                    "effective_GBps": model.effective_nic_bandwidth(nbytes) / 1e9,
+                    "transfer_ms": model.inter_node_time(nbytes) * 1e3,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Section VI-A1: message-size sweep (128 kB to 16 MB)", rows)
+
+    effs = [r["efficiency"] for r in rows]
+    assert all(a <= b + 1e-12 for a, b in zip(effs, effs[1:])), "efficiency must be monotone"
+    four_mb = [r for r in rows if abs(r["message_MB"] - 4.194304) < 0.01][0]
+    sixteen_mb = rows[-1]
+    assert four_mb["efficiency"] > 0.95
+    # Past the optimum, the remaining gain is marginal (<5%).
+    assert sixteen_mb["efficiency"] - four_mb["efficiency"] < 0.05
+    small = rows[0]
+    assert small["efficiency"] < 0.5
+    benchmark.extra_info["efficiency_at_4MB"] = four_mb["efficiency"]

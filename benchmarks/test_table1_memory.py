@@ -1,0 +1,63 @@
+"""Table I — memory usage of the partitioned graph representation.
+
+The paper's Table I gives the per-subgraph byte counts and concludes that with
+a suitable threshold the total is "only about one third of the conventional
+edge list format (16m bytes), and a little more than half of CSR format
+(8n + 8m)".  This benchmark builds real partitions for a sweep of thresholds
+and prints analytic (Table I formula) vs measured (NumPy buffer) bytes and the
+two ratios.
+
+Expected shape: for the suggested threshold the partitioned/edge-list ratio is
+≈ 0.3–0.4 and the partitioned/CSR ratio ≈ 0.5–0.7, degrading toward 1 of CSR
+when the threshold is so large that no delegates exist.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.partition.delegates import suggest_threshold
+from repro.partition.layout import ClusterLayout
+from repro.partition.memory import memory_usage
+from repro.partition.subgraphs import build_partitions
+
+
+def test_table1_memory(benchmark, rmat_bench_graphs):
+    scale = 15
+    edges = rmat_bench_graphs(scale)
+    layout = ClusterLayout(num_ranks=4, gpus_per_rank=2)
+    suggested = suggest_threshold(edges, layout.num_gpus)
+
+    def build():
+        rows = []
+        for th in [suggested, 4 * suggested, 10**9]:
+            graph = build_partitions(edges, layout, th)
+            analytic, measured = memory_usage(graph)
+            rows.append(
+                {
+                    "threshold": th if th < 10**9 else "inf (no delegates)",
+                    "delegates": graph.num_delegates,
+                    "analytic_MB": analytic.partitioned_bytes / 1e6,
+                    "measured_MB": measured.partitioned_bytes / 1e6,
+                    "edge_list_MB": analytic.edge_list_bytes / 1e6,
+                    "plain_csr_MB": analytic.plain_csr_bytes / 1e6,
+                    "vs_edge_list": analytic.vs_edge_list,
+                    "vs_plain_csr": analytic.vs_plain_csr,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(f"Table I: memory usage (RMAT scale {scale}, {layout.notation()})", rows)
+
+    tuned = rows[0]
+    untuned = rows[-1]
+    # Paper claims: ~1/3 of edge list, a bit more than 1/2 of plain CSR.
+    assert 0.25 < tuned["vs_edge_list"] < 0.45
+    assert 0.45 < tuned["vs_plain_csr"] < 0.75
+    # Without separation the advantage over plain CSR disappears.
+    assert untuned["vs_plain_csr"] > tuned["vs_plain_csr"]
+    # The analytic model tracks the measured buffers closely.
+    assert abs(tuned["analytic_MB"] - tuned["measured_MB"]) / tuned["measured_MB"] < 0.2
+    benchmark.extra_info["vs_edge_list"] = tuned["vs_edge_list"]
+    benchmark.extra_info["vs_plain_csr"] = tuned["vs_plain_csr"]

@@ -1,0 +1,17 @@
+"""Pytest bootstrap for running the suite from a source checkout.
+
+If the ``repro`` package has been installed (``pip install -e .``) this file
+does nothing.  When it has not — for example on an air-gapped machine where
+editable installs are unavailable — we add ``src/`` to ``sys.path`` so the
+tests and benchmarks run directly against the checkout.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (already importable; nothing to do)
+except ImportError:  # pragma: no cover - only hit on uninstalled checkouts
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

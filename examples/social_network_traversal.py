@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Social-network and web-graph traversal (paper §VI-D).
+
+The paper evaluates its BFS on two "general" graphs beyond RMAT: the
+Friendster social network and the WDC 2012 hyperlink graph.  Neither dataset
+is redistributable at laptop scale, so this example uses the library's
+synthetic substitutes with matched qualitative structure:
+
+* ``friendster_like`` — heavy-tailed degrees, roughly half the vertex universe
+  isolated; and
+* ``wdc_like`` — a scale-free core with long thin chains, giving BFS a
+  long-tail behaviour of hundreds of iterations.
+
+It compares BFS and DOBFS on both: on the social graph DOBFS keeps its
+advantage, on the long-tail web graph the advantage disappears (the paper sees
+DOBFS slightly *slower* there), which motivates the paper's closing remark
+that such workloads want asynchronous frameworks rather than BSP.
+
+Run with::
+
+    python examples/social_network_traversal.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import BFSOptions, ClusterLayout, DistributedBFS, build_partitions
+from repro.graph.degree import out_degrees
+from repro.graph.generators import friendster_like, wdc_like
+from repro.graph.properties import analyze_graph
+from repro.partition.delegates import suggest_threshold
+
+
+def traverse(name: str, edges, layout: ClusterLayout) -> None:
+    props = analyze_graph(edges)
+    print(f"\n== {name} ==")
+    print(
+        f"   vertices: {props.num_vertices:,} ({props.num_isolated:,} isolated), "
+        f"directed edges: {props.num_directed_edges:,}, "
+        f"max degree: {props.max_out_degree}, approx. BFS depth: {props.approx_diameter}"
+    )
+    threshold = suggest_threshold(edges, layout.num_gpus)
+    graph = build_partitions(edges, layout, threshold)
+    print(
+        f"   partitioned over {layout.notation()} with TH={threshold}: "
+        f"{graph.num_delegates:,} delegates, {graph.census.nn_percentage:.1f}% nn edges"
+    )
+    source = int(np.argmax(out_degrees(edges)))
+    counted = edges.num_edges // 2
+    for label, opts in [("BFS  ", BFSOptions(direction_optimized=False)), ("DOBFS", BFSOptions())]:
+        result = DistributedBFS(graph, options=opts).run(source)
+        print(
+            f"   {label}: {result.num_visited:,} vertices reached in {result.iterations} "
+            f"iterations, {result.total_edges_examined:,} edges examined, "
+            f"modeled {result.elapsed_ms:.3f} ms ({result.gteps(counted):.2f} GTEPS)"
+        )
+
+
+def main() -> None:
+    layout = ClusterLayout.from_notation("2x2x2")
+    friendster = friendster_like(num_vertices=1 << 15, rng=7).prepared()
+    traverse("Friendster-like social network (synthetic substitute)", friendster, layout)
+
+    wdc = wdc_like(num_vertices=1 << 15, rng=7).prepared()
+    traverse("WDC-2012-like hyperlink graph (synthetic substitute)", wdc, layout)
+
+    print(
+        "\nOn the social network DOBFS examines far fewer edges than BFS; on the "
+        "long-tail web graph the searches run for hundreds of iterations and the "
+        "direction optimization no longer pays off — matching §VI-D of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

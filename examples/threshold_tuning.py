@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Threshold tuning study (paper §VI-B, Figures 5–7).
+
+The single most important tuning parameter of the system is the degree
+threshold ``TH`` that separates delegates from normal vertices.  This example
+reproduces the paper's tuning methodology on a laptop-scale RMAT graph:
+
+* sweep TH and print how the edge categories and delegate count shift
+  (Figure 5),
+* run BFS and DOBFS at several thresholds and print the resulting traversal
+  rates (Figure 6), and
+* print the threshold the built-in suggestion rule picks (Figure 7's rule).
+
+Run with::
+
+    python examples/threshold_tuning.py [scale] [gpus]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import BFSOptions, ClusterLayout, DistributedBFS, build_partitions, generate_rmat
+from repro.graph.degree import out_degrees
+from repro.partition.delegates import census_for_thresholds, suggest_threshold, threshold_candidates
+from repro.perfmodel.teps import rmat_counted_edges
+from repro.utils.rng import random_sources
+from repro.utils.stats import geometric_mean
+
+
+def main(scale: int = 14, num_gpus: int = 8) -> None:
+    edges = generate_rmat(scale, rng=11)
+    layout = ClusterLayout(num_ranks=max(1, num_gpus // 2), gpus_per_rank=min(2, num_gpus))
+    counted = rmat_counted_edges(scale)
+
+    print(f"== Edge-category census vs threshold (scale {scale}) ==")
+    print(f"{'TH':>8}  {'delegates%':>10}  {'dd%':>7}  {'nd+dn%':>7}  {'nn%':>7}")
+    max_degree = int(out_degrees(edges).max())
+    for census in census_for_thresholds(edges, threshold_candidates(max_degree)):
+        print(
+            f"{census.threshold:>8}  {census.delegate_percentage:>10.2f}  "
+            f"{census.dd_percentage:>7.2f}  {census.nd_dn_percentage:>7.2f}  "
+            f"{census.nn_percentage:>7.2f}"
+        )
+
+    suggested = suggest_threshold(edges, layout.num_gpus)
+    print(f"\n== Suggested threshold for {layout.num_gpus} GPUs: {suggested} ==")
+
+    print(f"\n== Traversal rate vs threshold ({layout.notation()}) ==")
+    sources = random_sources(edges.num_vertices, 4, rng=3, degrees=out_degrees(edges))
+    print(f"{'TH':>8}  {'BFS GTEPS':>10}  {'DOBFS GTEPS':>12}")
+    for th in [max(1, suggested // 4), suggested, suggested * 4, suggested * 16]:
+        graph = build_partitions(edges, layout, th)
+        row = []
+        for opts in [BFSOptions(direction_optimized=False), BFSOptions()]:
+            engine = DistributedBFS(graph, options=opts)
+            rates = [
+                r.gteps(counted)
+                for r in (engine.run(int(s)) for s in sources)
+                if r.traversed_more_than_one_iteration()
+            ]
+            row.append(geometric_mean(rates))
+        print(f"{th:>8}  {row[0]:>10.3f}  {row[1]:>12.3f}")
+
+    print("\nAs in the paper, a wide band of thresholds around the suggestion "
+          "performs similarly; only extreme values hurt.")
+
+
+if __name__ == "__main__":
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(scale, gpus)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work on
+machines without network access or the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

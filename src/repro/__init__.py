@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Scalable Breadth-First Search on a GPU Cluster".
+
+The library implements the complete system described by Pan, Pearce and Owens
+(IPDPS workshops / arXiv:1803.03922, 2018) on top of a *simulated* GPU
+cluster: degree separation of vertices into delegates and normal vertices, the
+modular edge distributor, the four per-GPU CSR subgraphs with 32-bit local
+ids, per-subgraph direction-optimized traversal kernels, and the two-part
+communication model (global delegate-mask reductions plus point-to-point
+normal-vertex exchange) — together with the baselines, analytic cost models
+and experiment harnesses needed to regenerate every table and figure of the
+paper's evaluation at laptop scale.
+
+Quickstart
+----------
+>>> from repro import ClusterLayout, DistributedBFS, build_partitions, generate_rmat
+>>> edges = generate_rmat(12, rng=3)
+>>> layout = ClusterLayout(num_ranks=2, gpus_per_rank=2)
+>>> graph = build_partitions(edges, layout, threshold=64)
+>>> result = DistributedBFS(graph).run(source=0)
+>>> result.distances.shape
+(4096,)
+
+See ``examples/`` for end-to-end scripts and ``benchmarks/`` for the
+per-figure experiment harnesses.
+"""
+
+from repro.cluster import HardwareSpec, NetworkModel
+from repro.core import BFSOptions, BFSResult, DistributedBFS
+from repro.graph import EdgeList, friendster_like, generate_rmat, wdc_like
+from repro.partition import ClusterLayout, build_partitions, suggest_threshold
+from repro.validate import validate_distances
+
+__all__ = [
+    "__version__",
+    "EdgeList",
+    "generate_rmat",
+    "friendster_like",
+    "wdc_like",
+    "ClusterLayout",
+    "build_partitions",
+    "suggest_threshold",
+    "DistributedBFS",
+    "BFSOptions",
+    "BFSResult",
+    "HardwareSpec",
+    "NetworkModel",
+    "validate_distances",
+]
+
+__version__ = "1.0.0"

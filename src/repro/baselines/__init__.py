@@ -1,0 +1,32 @@
+"""Baseline BFS implementations the paper compares against or builds on.
+
+``serial_bfs``
+    Plain level-synchronous top-down BFS over a single CSR — the reference
+    oracle for correctness tests and the "conventional" workload baseline.
+``serial_dobfs``
+    Single-processor direction-optimizing BFS (Beamer, Asanović, Patterson),
+    used to quantify the workload savings of DO that the distributed engine
+    must preserve.
+``bfs_1d``
+    Distributed BFS over a conventional 1D partitioning: every frontier vertex
+    broadcast of its neighbours crosses the network; this is the scheme whose
+    communication the paper's §II-B analysis shows does not scale for DOBFS.
+``bfs_2d``
+    Distributed BFS over a 2D (edge-block) partitioning with the two-hop
+    row-reduction / column-broadcast communication pattern of Graph500 CPU
+    entries; its ``√p`` communication growth is the main analytic comparison
+    target of the paper's communication model.
+"""
+
+from repro.baselines.bfs_1d import OneDBFS
+from repro.baselines.bfs_2d import TwoDBFS
+from repro.baselines.serial_bfs import serial_bfs, serial_bfs_edge_workload
+from repro.baselines.serial_dobfs import serial_dobfs
+
+__all__ = [
+    "serial_bfs",
+    "serial_bfs_edge_workload",
+    "serial_dobfs",
+    "OneDBFS",
+    "TwoDBFS",
+]

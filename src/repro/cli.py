@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+A thin, scriptable front-end over the library for the common workflows a
+downstream user needs without writing Python:
+
+``python -m repro.cli generate``
+    Generate a prepared Graph500 RMAT graph (or a synthetic Friendster/WDC
+    substitute) and save it as an ``.npz`` edge list.
+``python -m repro.cli bfs``
+    Partition a graph over a virtual cluster and run (DO)BFS from one or more
+    sources, printing traversal rates and the runtime breakdown.
+``python -m repro.cli census``
+    Print the Figure-5 style edge-category census for a sweep of degree
+    thresholds, plus the suggested threshold for a given GPU count.
+
+All subcommands accept either ``--npz PATH`` (a previously generated graph) or
+``--scale N`` (generate an RMAT graph on the fly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Degree-separated distributed BFS on a simulated GPU cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a prepared graph and save it as .npz")
+    gen.add_argument("--kind", choices=["rmat", "friendster", "wdc"], default="rmat")
+    gen.add_argument("--scale", type=int, default=16, help="log2 of the vertex count")
+    gen.add_argument("--seed", type=int, default=11)
+    gen.add_argument("--output", type=Path, required=True)
+
+    bfs = sub.add_parser("bfs", help="partition a graph and run (DO)BFS")
+    _add_graph_args(bfs)
+    bfs.add_argument("--layout", default="4x1x2", help="nodes x ranks-per-node x gpus-per-rank")
+    bfs.add_argument("--threshold", type=int, default=None, help="degree threshold TH")
+    bfs.add_argument("--sources", type=int, default=5, help="number of random sources")
+    bfs.add_argument("--source", type=int, default=None, help="explicit source vertex")
+    bfs.add_argument("--no-direction-optimization", action="store_true")
+    bfs.add_argument("--local-all2all", action="store_true")
+    bfs.add_argument("--uniquify", action="store_true")
+    bfs.add_argument("--nonblocking-reduce", action="store_true")
+    bfs.add_argument("--validate", action="store_true", help="check against a serial oracle")
+
+    census = sub.add_parser("census", help="edge-category census vs degree threshold")
+    _add_graph_args(census)
+    census.add_argument("--gpus", type=int, default=8, help="GPU count for the TH suggestion")
+
+    return parser
+
+
+def _add_graph_args(sub: argparse.ArgumentParser) -> None:
+    group = sub.add_mutually_exclusive_group()
+    group.add_argument("--npz", type=Path, help="edge list saved by `repro generate`")
+    group.add_argument("--scale", type=int, default=14, help="RMAT scale to generate on the fly")
+    sub.add_argument("--seed", type=int, default=11)
+
+
+def _load_graph(args: argparse.Namespace):
+    from repro.graph.io import load_npz
+    from repro.graph.rmat import generate_rmat
+
+    if getattr(args, "npz", None):
+        return load_npz(args.npz)
+    return generate_rmat(args.scale, rng=args.seed)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.generators import friendster_like, wdc_like
+    from repro.graph.io import save_npz
+    from repro.graph.rmat import generate_rmat
+
+    if args.kind == "rmat":
+        edges = generate_rmat(args.scale, rng=args.seed)
+    elif args.kind == "friendster":
+        edges = friendster_like(num_vertices=1 << args.scale, rng=args.seed).prepared()
+    else:
+        edges = wdc_like(num_vertices=1 << args.scale, rng=args.seed).prepared()
+    save_npz(args.output, edges)
+    print(
+        f"wrote {args.output}: {edges.num_vertices:,} vertices, "
+        f"{edges.num_edges:,} directed edges ({args.kind}, scale {args.scale})"
+    )
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from repro.baselines.serial_bfs import serial_bfs
+    from repro.core.engine import DistributedBFS
+    from repro.core.options import BFSOptions
+    from repro.graph.csr import CSRGraph
+    from repro.graph.degree import out_degrees
+    from repro.partition.delegates import suggest_threshold
+    from repro.partition.layout import ClusterLayout
+    from repro.partition.subgraphs import build_partitions
+    from repro.utils.rng import random_sources
+    from repro.utils.stats import geometric_mean
+    from repro.validate.graph500 import validate_distances
+
+    edges = _load_graph(args)
+    layout = ClusterLayout.from_notation(args.layout)
+    threshold = (
+        args.threshold if args.threshold is not None else suggest_threshold(edges, layout.num_gpus)
+    )
+    graph = build_partitions(edges, layout, threshold)
+    options = BFSOptions(
+        direction_optimized=not args.no_direction_optimization,
+        local_all2all=args.local_all2all or args.uniquify,
+        uniquify=args.uniquify,
+        blocking_reduce=not args.nonblocking_reduce,
+    )
+    engine = DistributedBFS(graph, options=options)
+    print(
+        f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+        f"cluster {layout.notation()} | TH={threshold} | "
+        f"delegates {graph.num_delegates:,} | options {options.label()}"
+    )
+
+    if args.source is not None:
+        sources = np.asarray([args.source], dtype=np.int64)
+    else:
+        sources = random_sources(
+            edges.num_vertices, args.sources, rng=args.seed + 1, degrees=out_degrees(edges)
+        )
+    oracle = CSRGraph.from_edgelist(edges) if args.validate else None
+    rates = []
+    for source in sources:
+        result = engine.run(int(source))
+        if oracle is not None:
+            reference = serial_bfs(oracle, int(source))
+            validate_distances(edges, int(source), result.distances, reference).raise_if_invalid()
+        if not result.traversed_more_than_one_iteration():
+            print(f"  source {int(source)}: skipped (single-iteration run)")
+            continue
+        rates.append(result.gteps())
+        t = result.timing
+        print(
+            f"  source {int(source):>9}: {result.num_visited:,} visited, "
+            f"{result.iterations} iters, {t.elapsed_ms:.3f} ms, {result.gteps():.3f} GTEPS "
+            f"[comp {t.computation:.3f} | local {t.local_communication:.3f} | "
+            f"normal {t.remote_normal_exchange:.3f} | delegate {t.remote_delegate_reduce:.3f}]"
+        )
+    if rates:
+        print(f"geometric mean: {geometric_mean(rates):.3f} GTEPS over {len(rates)} runs")
+        if args.validate:
+            print("all runs validated against the serial oracle")
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.graph.degree import out_degrees
+    from repro.partition.delegates import (
+        census_for_thresholds,
+        suggest_threshold,
+        threshold_candidates,
+    )
+
+    edges = _load_graph(args)
+    max_degree = int(out_degrees(edges).max()) if edges.num_edges else 0
+    print(f"{'TH':>10} {'delegates%':>11} {'dd%':>8} {'nd+dn%':>8} {'nn%':>8}")
+    for census in census_for_thresholds(edges, threshold_candidates(max_degree)):
+        print(
+            f"{census.threshold:>10} {census.delegate_percentage:>11.2f} "
+            f"{census.dd_percentage:>8.2f} {census.nd_dn_percentage:>8.2f} "
+            f"{census.nn_percentage:>8.2f}"
+        )
+    print(f"suggested threshold for {args.gpus} GPUs: {suggest_threshold(edges, args.gpus)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "bfs":
+        return _cmd_bfs(args)
+    if args.command == "census":
+        return _cmd_census(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

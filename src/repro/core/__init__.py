@@ -1,0 +1,40 @@
+"""Core distributed (DO)BFS engine — the paper's primary contribution.
+
+The public entry point is :class:`repro.core.engine.DistributedBFS`, which
+traverses a :class:`repro.partition.PartitionedGraph` on the simulated cluster
+and returns a :class:`repro.core.results.BFSResult` carrying exact hop
+distances, workload/communication counters and the modeled runtime breakdown.
+
+Modules
+-------
+``options``
+    :class:`BFSOptions` — every switch from the paper's Figure 8 ablation
+    (direction optimization, local all2all, uniquify, blocking vs non-blocking
+    delegate reduction) plus the per-subgraph direction-switching factors.
+``kernels``
+    The forward-push and backward-pull visit kernels for the four subgraphs,
+    as vectorized NumPy functions with exact workload counting.
+``direction``
+    Per-subgraph direction-optimization state: forward/backward workload
+    estimates (FV / BV) and the factor-based switching rule of §IV-B.
+``state``
+    Per-GPU and replicated BFS state (normal levels, delegate levels, masks,
+    frontiers).
+``results``
+    :class:`BFSResult` and per-iteration records.
+``engine``
+    :class:`DistributedBFS` — the super-step orchestrator combining local
+    computation (Fig. 3) and the communication model (Fig. 4).
+"""
+
+from repro.core.engine import DistributedBFS
+from repro.core.options import BFSOptions, DirectionFactors
+from repro.core.results import BFSResult, IterationRecord
+
+__all__ = [
+    "DistributedBFS",
+    "BFSOptions",
+    "DirectionFactors",
+    "BFSResult",
+    "IterationRecord",
+]

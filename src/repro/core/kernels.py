@@ -1,0 +1,182 @@
+"""Local traversal kernels (paper §IV, Figure 3).
+
+Each virtual GPU runs up to four *visit* kernels per super-step, one per
+subgraph.  In the real system these are CUDA kernels with merge-based or
+thread-warp-block load balancing; here they are vectorized NumPy functions
+that produce the identical set of discovered vertices **and** count exactly
+how many edges they examined, because the examined-edge count is what drives
+the paper's performance results (workload is what the GPUs are throughput-
+bound on).
+
+Forward-push kernels gather the full neighbour lists of the frontier
+(workload = FV, the sum of frontier out-degrees).  Backward-pull kernels scan
+the parent list of each unvisited candidate only until the first parent in the
+frontier is found (workload = edges examined before the first hit, or the full
+list when there is none) — this early exit is the whole point of
+direction-optimized BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "KernelOutput",
+    "forward_visit",
+    "backward_visit",
+    "frontier_workload",
+    "filter_frontier",
+]
+
+
+@dataclass
+class KernelOutput:
+    """Result of one visit kernel.
+
+    Attributes
+    ----------
+    discovered:
+        Destination ids discovered by this kernel.  For forward kernels these
+        are raw gather outputs (duplicates possible, already-visited vertices
+        possible — filtering happens at the destination, as on a real GPU
+        where the atomicMin on the label does the filtering).  For backward
+        kernels these are the candidate rows that found a parent (each appears
+        exactly once).
+    edges_examined:
+        Exact number of edges the kernel touched; feeds the performance model.
+    backward:
+        Whether the kernel ran in backward-pull mode (pulls are cheaper per
+        edge in the hardware model).
+    """
+
+    discovered: np.ndarray
+    edges_examined: int
+    backward: bool
+
+
+def frontier_workload(csr: CSRGraph, frontier: np.ndarray) -> int:
+    """Forward workload FV: total out-degree of the frontier in this subgraph."""
+    return csr.frontier_workload(frontier)
+
+
+def filter_frontier(frontier: np.ndarray, out_degrees: np.ndarray) -> np.ndarray:
+    """Previsit filtering: deduplicate and drop zero-out-degree vertices.
+
+    This mirrors the paper's previsit kernels, which "mark level labels for
+    input vertices, filter out duplicates and zero-out-degree vertices, and
+    form the queues of vertices to be visited by the visit kernels".
+    """
+    frontier = np.asarray(frontier, dtype=np.int64).ravel()
+    if frontier.size == 0:
+        return frontier
+    unique = np.unique(frontier)
+    return unique[out_degrees[unique] > 0]
+
+
+def forward_visit(csr: CSRGraph, frontier: np.ndarray) -> KernelOutput:
+    """Forward-push visit: gather all neighbours of the frontier rows.
+
+    Parameters
+    ----------
+    csr:
+        The subgraph to traverse (rows = frontier id space).
+    frontier:
+        Row ids to expand (assumed pre-filtered by :func:`filter_frontier`).
+
+    Returns
+    -------
+    KernelOutput
+        ``discovered`` holds the raw destination ids (column id space of the
+        subgraph); ``edges_examined`` equals the frontier's total out-degree.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64).ravel()
+    if frontier.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+    _, destinations = csr.gather_neighbors(frontier)
+    return KernelOutput(
+        discovered=np.asarray(destinations, dtype=np.int64),
+        edges_examined=int(destinations.size),
+        backward=False,
+    )
+
+
+def backward_visit(
+    reverse_csr: CSRGraph,
+    candidates: np.ndarray,
+    parent_in_frontier: np.ndarray,
+) -> KernelOutput:
+    """Backward-pull visit with early exit and exact workload counting.
+
+    Parameters
+    ----------
+    reverse_csr:
+        CSR whose rows are the *unvisited candidates* and whose columns are
+        their potential parents (i.e. the reverse of the subgraph being
+        traversed; for the locally-symmetric dd subgraph it is the subgraph
+        itself).
+    candidates:
+        Row ids of unvisited vertices to test.
+    parent_in_frontier:
+        Boolean array over the column id space: ``True`` where the potential
+        parent was newly visited in the previous super-step.
+
+    Returns
+    -------
+    KernelOutput
+        ``discovered`` lists the candidate rows that found a parent in the
+        frontier (each exactly once); ``edges_examined`` counts, per
+        candidate, the parents scanned up to and including the first hit (or
+        the whole list when no parent is in the frontier), which is the exact
+        workload of a serial early-exit scan — the quantity the paper's BV
+        formula estimates.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64).ravel()
+    parent_in_frontier = np.asarray(parent_in_frontier, dtype=bool)
+    if candidates.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=True)
+
+    rows, parents = reverse_csr.gather_neighbors(candidates)
+    if parents.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=True)
+
+    hits = parent_in_frontier[np.asarray(parents, dtype=np.int64)]
+
+    # Segment bookkeeping: edges are emitted grouped by candidate (gather
+    # preserves row order).  For each candidate segment we need (a) whether a
+    # hit exists and (b) the position of the first hit, to count the
+    # early-exit workload.
+    all_lengths = reverse_csr.row_offsets[candidates + 1] - reverse_csr.row_offsets[candidates]
+    nonzero_mask = all_lengths > 0
+    seg_lengths = all_lengths[nonzero_mask]
+    seg_candidates = candidates[nonzero_mask]
+    seg_starts = np.zeros(seg_lengths.size, dtype=np.int64)
+    np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
+
+    positions = np.arange(hits.size, dtype=np.int64)
+    seg_of_edge = np.repeat(np.arange(seg_lengths.size, dtype=np.int64), seg_lengths)
+    within = positions - seg_starts[seg_of_edge]
+
+    # First-hit position per segment: minimum `within` over hit edges.
+    first_hit = np.full(seg_lengths.size, -1, dtype=np.int64)
+    if np.any(hits):
+        hit_seg = seg_of_edge[hits]
+        hit_within = within[hits]
+        order = np.lexsort((hit_within, hit_seg))
+        hit_seg_sorted = hit_seg[order]
+        hit_within_sorted = hit_within[order]
+        seg_first_idx = np.ones(hit_seg_sorted.size, dtype=bool)
+        seg_first_idx[1:] = hit_seg_sorted[1:] != hit_seg_sorted[:-1]
+        first_hit[hit_seg_sorted[seg_first_idx]] = hit_within_sorted[seg_first_idx]
+
+    found = first_hit >= 0
+    examined = np.where(found, first_hit + 1, seg_lengths)
+    discovered = seg_candidates[found]
+    return KernelOutput(
+        discovered=discovered.astype(np.int64),
+        edges_examined=int(examined.sum()),
+        backward=True,
+    )

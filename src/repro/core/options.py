@@ -1,0 +1,104 @@
+"""Runtime options of the distributed BFS (paper §VI-B, Figure 8).
+
+The paper tunes its implementation with several options; all of them are
+exposed here so the Figure 8 ablation benchmark can toggle each one:
+
+* ``direction_optimized`` (DO) — per-subgraph direction optimization for the
+  dd, dn and nd visits (nn never uses DO, by design);
+* ``local_all2all`` (L) — intra-rank pre-exchange of normal-vertex traffic;
+* ``uniquify`` (U) — duplicate removal before the remote normal exchange;
+* ``blocking_reduce`` (BR vs IR) — ``MPI_Allreduce`` vs ``MPI_Iallreduce`` for
+  the delegate masks;
+* the three pairs of direction-switching factors (``factor0``, ``factor1``)
+  for the dd, dn and nd subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DirectionFactors", "BFSOptions"]
+
+
+@dataclass(frozen=True)
+class DirectionFactors:
+    """Direction-switching factors for one subgraph (paper §IV-B).
+
+    Starting from forward-push:
+
+    * switch to backward-pull when ``FV > factor0 * BV``;
+    * switch back to forward-push when ``FV < factor1 * BV``.
+
+    ``factor1 <= factor0`` gives hysteresis; with a very small ``factor1`` the
+    traversal effectively never switches back, which the paper observes is the
+    right behaviour for RMAT graphs.
+    """
+
+    factor0: float
+    factor1: float
+
+    def __post_init__(self) -> None:
+        if self.factor0 <= 0 or self.factor1 <= 0:
+            raise ValueError("direction factors must be positive")
+        if self.factor1 > self.factor0:
+            raise ValueError(
+                f"factor1 ({self.factor1}) must not exceed factor0 ({self.factor0}); "
+                "otherwise the direction would oscillate every iteration"
+            )
+
+
+@dataclass(frozen=True)
+class BFSOptions:
+    """All tunable options of :class:`repro.core.engine.DistributedBFS`.
+
+    The defaults correspond to the configuration the paper uses for its main
+    results: direction optimization on, local-all2all and uniquify off (they
+    did not pay off at the chosen thresholds), blocking delegate reduction
+    (faster at ≥8 nodes on Ray), and the direction-switching factors the
+    paper's sweep found near-optimal (0.5 / 0.05 / 1e-7 for dd / dn / nd).
+    """
+
+    direction_optimized: bool = True
+    local_all2all: bool = False
+    uniquify: bool = False
+    blocking_reduce: bool = True
+    dd_factors: DirectionFactors = field(
+        default_factory=lambda: DirectionFactors(factor0=0.5, factor1=1e-9)
+    )
+    dn_factors: DirectionFactors = field(
+        default_factory=lambda: DirectionFactors(factor0=0.05, factor1=1e-9)
+    )
+    nd_factors: DirectionFactors = field(
+        default_factory=lambda: DirectionFactors(factor0=1e-7, factor1=1e-9)
+    )
+    #: Fraction of the smaller of (computation, communication) hidden by
+    #: overlapping the two; the paper reports ~10% end-to-end reduction from
+    #: overlap for the Figure 8 experiment.
+    overlap_efficiency: float = 0.3
+    #: Maximum number of super-steps before the engine aborts (safety net for
+    #: malformed graphs; the diameter bounds the true iteration count).
+    max_iterations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap_efficiency <= 1.0:
+            raise ValueError("overlap_efficiency must be within [0, 1]")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.uniquify and not self.local_all2all:
+            # The paper's pipeline runs uniquification on the staging GPU after
+            # the local exchange; without the local exchange there is nothing
+            # to uniquify against, so reject the combination loudly rather
+            # than silently ignoring the flag.
+            raise ValueError("uniquify=True requires local_all2all=True")
+
+    def label(self) -> str:
+        """Short label in the style of the paper's Figure 8 x-axis."""
+        parts = []
+        if self.direction_optimized:
+            parts.append("DO")
+        if self.local_all2all:
+            parts.append("L")
+        if self.uniquify:
+            parts.append("U")
+        parts.append("BR" if self.blocking_reduce else "IR")
+        return "+".join(parts) if parts else "plain"

@@ -1,0 +1,138 @@
+"""Result containers of a distributed BFS run.
+
+A :class:`BFSResult` bundles three things:
+
+1. the **answer** — exact hop distances from the source (the paper's
+   implementation likewise "outputs the hop-distances from the source vertex,
+   instead of the BFS tree required by Graph500");
+2. the **counters** — per-kernel edges examined, frontier sizes and
+   communication volumes, recorded per iteration in
+   :class:`IterationRecord`; and
+3. the **modeled performance** — the per-phase
+   :class:`repro.utils.timing.TimingBreakdown` and the derived traversal rate
+   (TEPS), computed from the counters through the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.comm import CommStats
+from repro.utils.timing import TimingBreakdown
+
+__all__ = ["IterationRecord", "BFSResult"]
+
+
+@dataclass
+class IterationRecord:
+    """Counters and modeled times for one super-step."""
+
+    iteration: int
+    #: Number of vertices in the input normal frontier, summed over GPUs.
+    normal_frontier_size: int
+    #: Number of newly-visited delegates entering this iteration.
+    delegate_frontier_size: int
+    #: Edges examined by each kernel class this iteration, summed over GPUs.
+    edges_examined: dict = field(default_factory=dict)
+    #: Direction used by each DO-capable kernel this iteration (True=backward).
+    directions: dict = field(default_factory=dict)
+    #: Newly discovered vertices this iteration (normals + delegates).
+    discovered: int = 0
+    #: Whether a delegate-mask reduction was needed this iteration.
+    delegate_reduce: bool = False
+    #: Modeled times (seconds) for this iteration.
+    computation_s: float = 0.0
+    local_communication_s: float = 0.0
+    remote_normal_exchange_s: float = 0.0
+    remote_delegate_reduce_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    def total_edges_examined(self) -> int:
+        """Edges examined across all kernels this iteration."""
+        return int(sum(self.edges_examined.values()))
+
+
+@dataclass
+class BFSResult:
+    """Full outcome of one BFS run."""
+
+    source: int
+    distances: np.ndarray
+    iterations: int
+    records: list[IterationRecord]
+    timing: TimingBreakdown
+    comm_stats: CommStats
+    #: Edges examined by all kernels over the whole run (the DOBFS workload
+    #: m' + d·p·b of §IV-B).
+    total_edges_examined: int
+    #: Directed edges of the input graph (for default TEPS accounting).
+    num_directed_edges: int
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_visited(self) -> int:
+        """Number of vertices reached from the source (including the source)."""
+        return int(np.count_nonzero(self.distances >= 0))
+
+    @property
+    def depth(self) -> int:
+        """Largest hop distance reached."""
+        visited = self.distances[self.distances >= 0]
+        return int(visited.max()) if visited.size else 0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Modeled end-to-end elapsed time in milliseconds."""
+        return self.timing.elapsed_ms
+
+    def teps(self, counted_edges: int | None = None) -> float:
+        """Traversal rate in edges per second.
+
+        Parameters
+        ----------
+        counted_edges:
+            Number of edges to count, following the Graph500 convention the
+            paper uses (``m/2 = 2^N · 16`` for a scale-N RMAT graph).  The
+            default is half the stored directed edge count, i.e. the number of
+            undirected input edges.
+        """
+        edges = counted_edges if counted_edges is not None else self.num_directed_edges // 2
+        if self.timing.elapsed_ms <= 0:
+            raise ValueError("elapsed time is zero; TEPS undefined")
+        return edges / (self.timing.elapsed_ms / 1000.0)
+
+    def gteps(self, counted_edges: int | None = None) -> float:
+        """Traversal rate in Giga-TEPS."""
+        return self.teps(counted_edges) / 1e9
+
+    def traversed_more_than_one_iteration(self) -> bool:
+        """The paper only reports runs that executed more than one iteration."""
+        return self.iterations > 1
+
+    def workload_by_kernel(self) -> dict:
+        """Total edges examined per kernel class across the run."""
+        totals: dict[str, int] = {}
+        for record in self.records:
+            for kernel, edges in record.edges_examined.items():
+                totals[kernel] = totals.get(kernel, 0) + int(edges)
+        return totals
+
+    def summary(self) -> dict:
+        """Compact dictionary summary for logging / tabular output."""
+        return {
+            "source": self.source,
+            "iterations": self.iterations,
+            "visited": self.num_visited,
+            "depth": self.depth,
+            "elapsed_ms": self.timing.elapsed_ms,
+            "gteps": self.gteps(),
+            "edges_examined": self.total_edges_examined,
+            "computation_ms": self.timing.computation,
+            "local_comm_ms": self.timing.local_communication,
+            "remote_normal_ms": self.timing.remote_normal_exchange,
+            "remote_delegate_ms": self.timing.remote_delegate_reduce,
+        }

@@ -1,0 +1,132 @@
+"""Mutable BFS state for one run over the partitioned graph.
+
+The state mirrors what the real implementation keeps resident on the GPUs:
+
+* per GPU, a level label for every *local normal slot* (``-1`` = unvisited);
+* replicated across all GPUs, the visited bitmask and level labels of the
+  *delegates* (identical everywhere after every mask reduction, so the
+  simulation stores one copy);
+* the per-super-step frontiers: newly-visited local normal slots per GPU and
+  newly-visited delegate ids (shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.partition.subgraphs import PartitionedGraph
+from repro.utils.bitmask import Bitmask
+
+__all__ = ["BFSState"]
+
+UNVISITED = np.int64(-1)
+
+
+@dataclass
+class BFSState:
+    """All mutable data of one BFS run."""
+
+    graph: PartitionedGraph
+    normal_levels: list[np.ndarray] = field(default_factory=list)
+    delegate_levels: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    delegate_visited: Bitmask = field(default_factory=lambda: Bitmask(0))
+    normal_frontiers: list[np.ndarray] = field(default_factory=list)
+    delegate_frontier: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @classmethod
+    def initialize(cls, graph: PartitionedGraph, source: int) -> "BFSState":
+        """Create the state for a BFS from ``source`` (level 0)."""
+        if not 0 <= source < graph.num_vertices:
+            raise ValueError(
+                f"source {source} out of range [0, {graph.num_vertices})"
+            )
+        d = graph.num_delegates
+        state = cls(
+            graph=graph,
+            normal_levels=[
+                np.full(gpu.num_local, UNVISITED, dtype=np.int64) for gpu in graph.gpus
+            ],
+            delegate_levels=np.full(d, UNVISITED, dtype=np.int64),
+            delegate_visited=Bitmask(d),
+            normal_frontiers=[np.zeros(0, dtype=np.int64) for _ in graph.gpus],
+            delegate_frontier=np.zeros(0, dtype=np.int64),
+        )
+        delegate_id = int(graph.separation.delegate_id_of[source])
+        if delegate_id >= 0:
+            state.delegate_levels[delegate_id] = 0
+            state.delegate_visited.set(delegate_id)
+            state.delegate_frontier = np.asarray([delegate_id], dtype=np.int64)
+        else:
+            owner = int(graph.layout.flat_gpu_of(source))
+            slot = int(graph.layout.local_index_of(source))
+            state.normal_levels[owner][slot] = 0
+            state.normal_frontiers[owner] = np.asarray([slot], dtype=np.int64)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Frontier bookkeeping
+    # ------------------------------------------------------------------ #
+    def mark_normals(self, gpu: int, slots: np.ndarray, level: int) -> np.ndarray:
+        """Mark unvisited local slots on ``gpu`` with ``level``.
+
+        Returns the slots that were actually new (already-visited ones are
+        dropped, which is what the destination-side filtering on a real GPU
+        does via atomic label updates).
+        """
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        if slots.size == 0:
+            return slots
+        slots = np.unique(slots)
+        levels = self.normal_levels[gpu]
+        fresh = slots[levels[slots] == UNVISITED]
+        levels[fresh] = level
+        return fresh
+
+    def mark_delegates(self, delegate_ids: np.ndarray, level: int) -> np.ndarray:
+        """Mark unvisited delegates with ``level`` and return the new ones."""
+        delegate_ids = np.asarray(delegate_ids, dtype=np.int64).ravel()
+        if delegate_ids.size == 0:
+            return delegate_ids
+        delegate_ids = np.unique(delegate_ids)
+        fresh = delegate_ids[self.delegate_levels[delegate_ids] == UNVISITED]
+        self.delegate_levels[fresh] = level
+        if fresh.size:
+            self.delegate_visited.set_many(fresh)
+        return fresh
+
+    def unvisited_delegates(self) -> np.ndarray:
+        """Delegate ids not yet visited."""
+        return np.flatnonzero(self.delegate_levels == UNVISITED).astype(np.int64)
+
+    def frontier_empty(self) -> bool:
+        """Whether both the normal and delegate frontiers are empty everywhere."""
+        if self.delegate_frontier.size:
+            return False
+        return all(f.size == 0 for f in self.normal_frontiers)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def gather_distances(self) -> np.ndarray:
+        """Assemble the global hop-distance array (``-1`` = unreachable)."""
+        graph = self.graph
+        distances = np.full(graph.num_vertices, UNVISITED, dtype=np.int64)
+        for gpu_partition, levels in zip(graph.gpus, self.normal_levels):
+            if gpu_partition.num_local == 0:
+                continue
+            owned = gpu_partition.owned_global_ids()
+            visited = levels != UNVISITED
+            distances[owned[visited]] = levels[visited]
+        if graph.num_delegates:
+            visited_d = self.delegate_levels != UNVISITED
+            distances[graph.delegate_vertices[visited_d]] = self.delegate_levels[visited_d]
+        return distances
+
+    def visited_count(self) -> int:
+        """Total number of visited vertices so far."""
+        total = int(np.count_nonzero(self.delegate_levels != UNVISITED))
+        for levels in self.normal_levels:
+            total += int(np.count_nonzero(levels != UNVISITED))
+        return total

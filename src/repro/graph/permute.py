@@ -1,0 +1,45 @@
+"""Vertex-permutation helpers.
+
+A thin wrapper over :func:`repro.utils.rng.deterministic_hash_permutation`
+exposing the operation the paper performs after graph generation: "Vertex
+numbers are randomized using a deterministic hashing function after edge
+generation" (§VI-A3).  Randomizing the ids destroys any locality the generator
+introduced, so the modular edge distributor (Algorithm 1) produces balanced
+partitions without needing an explicit shuffle table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.utils.rng import deterministic_hash_permutation
+
+__all__ = ["apply_vertex_permutation", "hashed_relabel", "invert_permutation"]
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation: if ``perm[old] = new``, then
+    ``inv[new] = old``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def apply_vertex_permutation(edges: EdgeList, perm: np.ndarray) -> EdgeList:
+    """Relabel an edge list with ``perm[old] = new`` (delegates to EdgeList)."""
+    return edges.relabeled(perm)
+
+
+def hashed_relabel(edges: EdgeList, seed: int = 1) -> tuple[EdgeList, np.ndarray]:
+    """Apply the deterministic hash permutation and also return it.
+
+    Returns
+    -------
+    (relabeled_edges, perm):
+        The relabeled edge list and the permutation used, so callers can map
+        BFS results (hop distances indexed by new ids) back to original ids.
+    """
+    perm = deterministic_hash_permutation(edges.num_vertices, seed=seed)
+    return edges.relabeled(perm), perm

@@ -1,0 +1,59 @@
+"""Degree separation and edge distribution (paper §III).
+
+This package turns a prepared (symmetric, hash-relabeled) edge list into the
+per-GPU data structures the BFS engine traverses:
+
+``delegates``
+    Selection of delegate vertices by out-degree threshold ``TH``, the
+    threshold-suggestion rule of Figure 7, and the edge-category census used
+    by Figures 5 and 12.
+``layout``
+    The modular vertex-to-GPU layout (``P(v) = v mod prank``,
+    ``G(v) = (v / prank) mod pgpu``) and global/local id conversion.
+``distributor``
+    Algorithm 1: assignment of every edge to exactly one GPU and one of the
+    four categories (nn, nd, dn, dd).
+``subgraphs``
+    Construction of the four per-GPU CSR subgraphs with 32-bit local ids,
+    source lists and source masks for direction optimization.
+``memory``
+    The Table-I memory model and comparisons against conventional edge-list
+    and CSR storage.
+``partition_1d`` / ``partition_2d``
+    Conventional 1D and 2D partitioners used by the baseline distributed BFS
+    implementations of §II-B.
+"""
+
+from repro.partition.delegates import (
+    DegreeSeparation,
+    EdgeCategoryCensus,
+    census_for_thresholds,
+    separate_by_degree,
+    suggest_threshold,
+)
+from repro.partition.distributor import EdgeAssignment, distribute_edges
+from repro.partition.layout import ClusterLayout
+from repro.partition.memory import MemoryModel, memory_usage
+from repro.partition.partition_1d import OneDPartition, partition_1d
+from repro.partition.partition_2d import TwoDPartition, partition_2d
+from repro.partition.subgraphs import GPUPartition, PartitionedGraph, build_partitions
+
+__all__ = [
+    "DegreeSeparation",
+    "EdgeCategoryCensus",
+    "separate_by_degree",
+    "suggest_threshold",
+    "census_for_thresholds",
+    "ClusterLayout",
+    "EdgeAssignment",
+    "distribute_edges",
+    "GPUPartition",
+    "PartitionedGraph",
+    "build_partitions",
+    "MemoryModel",
+    "memory_usage",
+    "OneDPartition",
+    "partition_1d",
+    "TwoDPartition",
+    "partition_2d",
+]

@@ -1,0 +1,190 @@
+"""Prior-work comparison data (paper Figure 1 and Table II).
+
+The paper situates its result among published large-scale BFS systems.  The
+data points below are transcribed from the paper's Figure 1 annotations and
+Table II so the comparison benchmark can regenerate both: the landscape plot
+(scale vs. processors, GTEPS per processor) and the head-to-head table
+(reference hardware and performance vs. the configuration of this work that
+matches each row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PriorWork", "PRIOR_WORK", "PAPER_RESULT", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class PriorWork:
+    """One published BFS result as cited by the paper."""
+
+    key: str
+    description: str
+    category: str  # "gpu_single_node" | "cpu_single_node" | "cpu_cluster" | "gpu_cluster"
+    num_processors: int
+    max_scale: int
+    gteps: float
+
+    @property
+    def gteps_per_processor(self) -> float:
+        """Throughput per processor (the y-axis of Figure 1, right panel)."""
+        return self.gteps / self.num_processors if self.num_processors else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat dictionary row."""
+        return {
+            "key": self.key,
+            "description": self.description,
+            "category": self.category,
+            "processors": self.num_processors,
+            "scale": self.max_scale,
+            "gteps": self.gteps,
+            "gteps_per_processor": self.gteps_per_processor,
+        }
+
+
+#: Figure 1 / Table II data, keyed by the paper's citation numbers.
+PRIOR_WORK: dict[str, PriorWork] = {
+    "pan2017": PriorWork(
+        key="[5] Pan et al. 2017 (Gunrock multi-GPU)",
+        description="Single node, 4 Tesla P100",
+        category="gpu_single_node",
+        num_processors=4,
+        max_scale=26,
+        gteps=46.1,
+    ),
+    "yasui2017": PriorWork(
+        key="[9] Yasui & Fujisawa 2017",
+        description="Shared-memory CPU, 128 Xeon processors",
+        category="cpu_single_node",
+        num_processors=128,
+        max_scale=33,
+        gteps=174.7,
+    ),
+    "buluc2017": PriorWork(
+        key="[16] Buluc et al. 2017",
+        description="CPU cluster, 1204 Xeon E5-2695 v2",
+        category="cpu_cluster",
+        num_processors=1204,
+        max_scale=36,
+        gteps=240.0,
+    ),
+    "ueno2016": PriorWork(
+        key="[14] Ueno et al. 2016",
+        description="K computer class CPU cluster",
+        category="cpu_cluster",
+        num_processors=82944,
+        max_scale=40,
+        gteps=38621.4,
+    ),
+    "lin2017": PriorWork(
+        key="[15] Lin et al. 2017 (Sunway TaihuLight)",
+        description="Sunway TaihuLight, ten million cores",
+        category="cpu_cluster",
+        num_processors=40768,
+        max_scale=40,
+        gteps=23755.7,
+    ),
+    "fu2014": PriorWork(
+        key="[19] Fu et al. 2014",
+        description="GPU cluster",
+        category="gpu_cluster",
+        num_processors=64,
+        max_scale=27,
+        gteps=29.1,
+    ),
+    "young2016": PriorWork(
+        key="[21] Young et al. 2016",
+        description="2D-partitioned GPU cluster",
+        category="gpu_cluster",
+        num_processors=64,
+        max_scale=27,
+        gteps=3.26,
+    ),
+    "krajecki2016": PriorWork(
+        key="[20] Krajecki et al. 2016",
+        description="64 Tesla K20Xm, FatTree 10 Gb/s",
+        category="gpu_cluster",
+        num_processors=64,
+        max_scale=29,
+        gteps=13.7,
+    ),
+    "bernaschi2015": PriorWork(
+        key="[18] Bernaschi et al. 2015",
+        description="4096 Tesla K20X, Dragonfly 100 Gb/s",
+        category="gpu_cluster",
+        num_processors=4096,
+        max_scale=33,
+        gteps=828.39,
+    ),
+    "ueno2013": PriorWork(
+        key="[17] Ueno & Suzumura 2013",
+        description="TSUBAME GPU cluster",
+        category="gpu_cluster",
+        num_processors=4096,
+        max_scale=35,
+        gteps=317.0,
+    ),
+    "tsubame2017": PriorWork(
+        key="[1] TSUBAME 2.0, Graph500 June 2017",
+        description="4096 Tesla GPUs in 1366 nodes",
+        category="gpu_cluster",
+        num_processors=4096,
+        max_scale=35,
+        gteps=462.25,
+    ),
+}
+
+#: The paper's own headline result ("[T]" in Figure 1).
+PAPER_RESULT = PriorWork(
+    key="[T] This work (paper)",
+    description="124 Tesla P100 on CORAL EA (Ray), 31x2x2",
+    category="gpu_cluster",
+    num_processors=124,
+    max_scale=33,
+    gteps=259.8,
+)
+
+#: Table II rows: (prior-work key, paper GTEPS at the matching configuration).
+TABLE_II_ROWS: list[tuple[str, float, str]] = [
+    ("pan2017", 39.8, "1x1x4 Tesla P100, scale 26"),
+    ("bernaschi2015", 259.8, "31x2x2 Tesla P100, scale 33"),
+    ("krajecki2016", 53.13, "2x1x4 Tesla P100, scale 29"),
+    ("yasui2017", 259.8, "31x2x2 Tesla P100, scale 33"),
+    ("buluc2017", 259.8, "31x2x2 Tesla P100, scale 33"),
+]
+
+
+def comparison_table(measured_gteps: dict[str, float] | None = None) -> list[dict]:
+    """Build Table II: prior work vs the paper vs (optionally) this reproduction.
+
+    Parameters
+    ----------
+    measured_gteps:
+        Optional mapping from prior-work key to the GTEPS this reproduction
+        measured at the corresponding (scaled-down) configuration; added as an
+        extra column when provided.
+
+    Returns
+    -------
+    list of dict
+        One row per Table II entry with reference performance, the paper's
+        performance, the speedup ratio, and optionally the reproduction's.
+    """
+    rows: list[dict] = []
+    for key, paper_gteps, our_hw in TABLE_II_ROWS:
+        ref = PRIOR_WORK[key]
+        row = {
+            "reference": ref.key,
+            "ref_processors": ref.num_processors,
+            "ref_scale": ref.max_scale,
+            "ref_gteps": ref.gteps,
+            "paper_hw": our_hw,
+            "paper_gteps": paper_gteps,
+            "paper_vs_ref": paper_gteps / ref.gteps if ref.gteps else float("nan"),
+        }
+        if measured_gteps and key in measured_gteps:
+            row["repro_gteps"] = measured_gteps[key]
+        rows.append(row)
+    return rows

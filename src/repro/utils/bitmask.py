@@ -1,0 +1,236 @@
+"""Packed bitmask container.
+
+The paper keeps the visited status of *delegates* (high out-degree vertices
+replicated on every GPU) as a bitmask with one bit per delegate, because the
+masks are all-reduced across the cluster every iteration and communication
+volume matters: ``d/8`` bytes per mask instead of ``4d`` or ``8d`` bytes for
+an index list.
+
+:class:`Bitmask` wraps a ``numpy.uint8`` array in packed (``numpy.packbits``)
+layout and exposes the handful of operations the BFS engine needs:
+
+* set / test individual bits and vectors of bit positions,
+* bitwise OR merge (the reduction operator used for mask all-reduce),
+* difference (``new & ~old``) to find newly visited delegates,
+* conversion to/from index arrays,
+* byte-level views for the communication layer.
+
+Everything is vectorized; no per-bit Python loops appear on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Bitmask"]
+
+
+class Bitmask:
+    """A fixed-size packed bitmask over ``size`` bit positions.
+
+    Parameters
+    ----------
+    size:
+        Number of addressable bits.  The backing buffer is padded to a whole
+        number of bytes.
+    buffer:
+        Optional pre-existing packed ``uint8`` buffer to wrap (no copy).  Its
+        length must be ``ceil(size / 8)``.
+    """
+
+    __slots__ = ("_size", "_bits")
+
+    def __init__(self, size: int, buffer: np.ndarray | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"bitmask size must be non-negative, got {size}")
+        self._size = int(size)
+        nbytes = (self._size + 7) // 8
+        if buffer is None:
+            self._bits = np.zeros(nbytes, dtype=np.uint8)
+        else:
+            buffer = np.asarray(buffer, dtype=np.uint8)
+            if buffer.shape != (nbytes,):
+                raise ValueError(
+                    f"buffer has shape {buffer.shape}, expected ({nbytes},) "
+                    f"for a bitmask of {size} bits"
+                )
+            self._bits = buffer
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int] | np.ndarray) -> "Bitmask":
+        """Build a mask of ``size`` bits with the given positions set."""
+        mask = cls(size)
+        mask.set_many(np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices))
+        return mask
+
+    @classmethod
+    def from_bool_array(cls, flags: np.ndarray) -> "Bitmask":
+        """Build a mask from a boolean array (one element per bit)."""
+        flags = np.asarray(flags, dtype=bool)
+        mask = cls(flags.size)
+        if flags.size:
+            mask._bits[:] = np.packbits(flags, bitorder="little")
+        return mask
+
+    def copy(self) -> "Bitmask":
+        """Return a deep copy."""
+        return Bitmask(self._size, self._bits.copy())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of addressable bits."""
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        """Length of the packed backing buffer in bytes."""
+        return self._bits.nbytes
+
+    @property
+    def buffer(self) -> np.ndarray:
+        """The packed ``uint8`` backing buffer (shared, not a copy)."""
+        return self._bits
+
+    def count(self) -> int:
+        """Number of set bits."""
+        if self._size == 0:
+            return 0
+        return int(np.unpackbits(self._bits, count=self._size, bitorder="little").sum())
+
+    def any(self) -> bool:
+        """``True`` if at least one bit is set."""
+        return bool(self._bits.any())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Bitmask(size={self._size}, set={self.count()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmask):
+            return NotImplemented
+        return self._size == other._size and bool(np.array_equal(self._bits, other._bits))
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("Bitmask is mutable and unhashable")
+
+    # ------------------------------------------------------------------ #
+    # Bit access
+    # ------------------------------------------------------------------ #
+    def _check_bounds(self, idx: np.ndarray) -> None:
+        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
+            raise IndexError(
+                f"bit index out of range [0, {self._size}): "
+                f"min={idx.min() if idx.size else None}, max={idx.max() if idx.size else None}"
+            )
+
+    def set(self, index: int) -> None:
+        """Set a single bit."""
+        self.set_many(np.asarray([index], dtype=np.int64))
+
+    def clear(self, index: int) -> None:
+        """Clear a single bit."""
+        idx = np.asarray([index], dtype=np.int64)
+        self._check_bounds(idx)
+        self._bits[index >> 3] &= np.uint8(~(1 << (index & 7)) & 0xFF)
+
+    def test(self, index: int) -> bool:
+        """Test a single bit."""
+        idx = np.asarray([index], dtype=np.int64)
+        self._check_bounds(idx)
+        return bool(self._bits[index >> 3] & np.uint8(1 << (index & 7)))
+
+    def set_many(self, indices: np.ndarray) -> None:
+        """Set many bit positions at once (vectorized)."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return
+        self._check_bounds(idx)
+        byte_idx = idx >> 3
+        bit_vals = np.left_shift(np.uint8(1), (idx & 7).astype(np.uint8))
+        np.bitwise_or.at(self._bits, byte_idx, bit_vals)
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        """Return a boolean array: whether each given bit position is set."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        self._check_bounds(idx)
+        byte_idx = idx >> 3
+        bit_vals = np.left_shift(np.uint8(1), (idx & 7).astype(np.uint8))
+        return (self._bits[byte_idx] & bit_vals) != 0
+
+    # ------------------------------------------------------------------ #
+    # Whole-mask operations
+    # ------------------------------------------------------------------ #
+    def or_with(self, other: "Bitmask") -> "Bitmask":
+        """In-place bitwise OR with another mask of the same size."""
+        self._require_same_size(other)
+        np.bitwise_or(self._bits, other._bits, out=self._bits)
+        return self
+
+    def or_buffer(self, packed: np.ndarray) -> "Bitmask":
+        """In-place bitwise OR with a raw packed buffer."""
+        packed = np.asarray(packed, dtype=np.uint8)
+        if packed.shape != self._bits.shape:
+            raise ValueError(
+                f"packed buffer shape {packed.shape} != mask buffer shape {self._bits.shape}"
+            )
+        np.bitwise_or(self._bits, packed, out=self._bits)
+        return self
+
+    def and_not(self, other: "Bitmask") -> "Bitmask":
+        """Return a new mask with ``self & ~other`` (bits set here but not there)."""
+        self._require_same_size(other)
+        out = Bitmask(self._size, np.bitwise_and(self._bits, np.bitwise_not(other._bits)))
+        out._mask_tail()
+        return out
+
+    def difference_indices(self, other: "Bitmask") -> np.ndarray:
+        """Indices of bits set in ``self`` but not in ``other``."""
+        return self.and_not(other).to_indices()
+
+    def to_indices(self) -> np.ndarray:
+        """Return the sorted ``int64`` array of set bit positions."""
+        if self._size == 0:
+            return np.zeros(0, dtype=np.int64)
+        flags = np.unpackbits(self._bits, count=self._size, bitorder="little")
+        return np.flatnonzero(flags).astype(np.int64)
+
+    def to_bool_array(self) -> np.ndarray:
+        """Return the mask as a boolean array of length ``size``."""
+        if self._size == 0:
+            return np.zeros(0, dtype=bool)
+        return np.unpackbits(self._bits, count=self._size, bitorder="little").astype(bool)
+
+    def clear_all(self) -> None:
+        """Clear every bit."""
+        self._bits[:] = 0
+
+    def fill_all(self) -> None:
+        """Set every bit (only within ``size``; padding bits stay clear)."""
+        self._bits[:] = 0xFF
+        self._mask_tail()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _require_same_size(self, other: "Bitmask") -> None:
+        if self._size != other._size:
+            raise ValueError(f"bitmask size mismatch: {self._size} != {other._size}")
+
+    def _mask_tail(self) -> None:
+        """Zero out padding bits beyond ``size`` in the last byte."""
+        extra = self._bits.size * 8 - self._size
+        if extra and self._bits.size:
+            keep = 8 - extra
+            self._bits[-1] &= np.uint8((1 << keep) - 1)

@@ -1,0 +1,13 @@
+"""Validation of BFS outputs.
+
+The Graph500 benchmark prescribes a validation phase after every BFS; the
+paper's implementation outputs hop distances rather than a parent tree, so the
+checks here are the distance-based equivalents (every edge spans at most one
+level, every visited vertex other than the source has a visited neighbour one
+level closer, unreachable vertices stay unreachable), plus a direct comparison
+against an independent serial oracle.
+"""
+
+from repro.validate.graph500 import ValidationReport, validate_distances
+
+__all__ = ["ValidationReport", "validate_distances"]

@@ -1,0 +1,149 @@
+"""Graph500-style validation of hop-distance outputs.
+
+Given the input edge list, a source and a distance array, the checks are:
+
+1. the source has distance 0 and non-source vertices have distance != 0;
+2. every edge (u, v) with both endpoints visited satisfies
+   ``|dist(u) - dist(v)| <= 1`` (no edge skips a level);
+3. every visited vertex at distance k > 0 has at least one in-neighbour at
+   distance k - 1 (a valid BFS parent exists);
+4. no edge connects a visited and an unvisited vertex (reachability is
+   closed), which for a symmetric graph also guarantees unreachable vertices
+   are genuinely outside the source's component;
+5. distances exactly match an independently computed reference when one is
+   supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["ValidationReport", "validate_distances"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one BFS result."""
+
+    valid: bool
+    errors: list = field(default_factory=list)
+    num_visited: int = 0
+    depth: int = 0
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``AssertionError`` with all collected problems if invalid."""
+        if not self.valid:
+            raise AssertionError("BFS validation failed:\n" + "\n".join(self.errors))
+
+
+def validate_distances(
+    edges: EdgeList,
+    source: int,
+    distances: np.ndarray,
+    reference: np.ndarray | None = None,
+    max_reported_errors: int = 10,
+) -> ValidationReport:
+    """Validate a hop-distance array against the rules in the module docstring.
+
+    Parameters
+    ----------
+    edges:
+        The traversed (symmetric) edge list.
+    source:
+        BFS source vertex.
+    distances:
+        Hop distances, ``-1`` for unreachable vertices.
+    reference:
+        Optional independently computed distances to compare against exactly.
+    max_reported_errors:
+        Cap on how many individual violations are recorded per rule.
+    """
+    distances = np.asarray(distances, dtype=np.int64)
+    errors: list[str] = []
+
+    if distances.shape != (edges.num_vertices,):
+        errors.append(
+            f"distance array has shape {distances.shape}, expected ({edges.num_vertices},)"
+        )
+        return ValidationReport(valid=False, errors=errors)
+
+    visited = distances >= 0
+    num_visited = int(np.count_nonzero(visited))
+    depth = int(distances[visited].max()) if num_visited else 0
+
+    # Rule 1: source level.
+    if not 0 <= source < edges.num_vertices:
+        errors.append(f"source {source} out of range")
+    elif distances[source] != 0:
+        errors.append(f"source {source} has distance {distances[source]}, expected 0")
+    if num_visited and int(np.count_nonzero(distances == 0)) != 1:
+        errors.append(
+            f"{int(np.count_nonzero(distances == 0))} vertices have distance 0, expected exactly 1"
+        )
+
+    src_d = distances[edges.src]
+    dst_d = distances[edges.dst]
+    both_visited = (src_d >= 0) & (dst_d >= 0)
+
+    # Rule 2: no edge skips a level.
+    gap = np.abs(src_d[both_visited] - dst_d[both_visited])
+    bad_gap = np.flatnonzero(gap > 1)
+    if bad_gap.size:
+        idx = np.flatnonzero(both_visited)[bad_gap[:max_reported_errors]]
+        for i in idx:
+            errors.append(
+                f"edge ({edges.src[i]}, {edges.dst[i]}) spans levels "
+                f"{distances[edges.src[i]]} -> {distances[edges.dst[i]]}"
+            )
+
+    # Rule 3: every visited non-source vertex has a parent one level closer.
+    # Compute, per destination vertex, the minimum source distance over its
+    # incoming edges among visited sources.
+    min_parent = np.full(edges.num_vertices, np.iinfo(np.int64).max, dtype=np.int64)
+    ok_edges = src_d >= 0
+    if np.any(ok_edges):
+        np.minimum.at(min_parent, edges.dst[ok_edges], src_d[ok_edges])
+    needs_parent = visited.copy()
+    if 0 <= source < edges.num_vertices:
+        needs_parent[source] = False
+    bad_parent = np.flatnonzero(
+        needs_parent & (min_parent != distances - 1)
+    )
+    for v in bad_parent[:max_reported_errors]:
+        errors.append(
+            f"vertex {v} at distance {distances[v]} has best in-neighbour distance "
+            f"{min_parent[v] if min_parent[v] != np.iinfo(np.int64).max else 'none'}"
+        )
+
+    # Rule 4: no edge crosses the visited/unvisited boundary.
+    crossing = (src_d >= 0) != (dst_d >= 0)
+    bad_cross = np.flatnonzero(crossing)
+    for i in bad_cross[:max_reported_errors]:
+        errors.append(
+            f"edge ({edges.src[i]}, {edges.dst[i]}) connects visited and unvisited vertices"
+        )
+
+    # Rule 5: exact match against the reference.
+    if reference is not None:
+        reference = np.asarray(reference, dtype=np.int64)
+        if reference.shape != distances.shape:
+            errors.append("reference distance array has a different shape")
+        else:
+            mismatch = np.flatnonzero(reference != distances)
+            for v in mismatch[:max_reported_errors]:
+                errors.append(
+                    f"vertex {v}: distance {distances[v]} != reference {reference[v]}"
+                )
+            if mismatch.size > max_reported_errors:
+                errors.append(f"... and {mismatch.size - max_reported_errors} more mismatches")
+
+    return ValidationReport(
+        valid=not errors,
+        errors=errors,
+        num_visited=num_visited,
+        depth=depth,
+    )

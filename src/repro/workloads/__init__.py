@@ -1,0 +1,23 @@
+"""Shared experiment workload specifications.
+
+The benchmark modules and example scripts all describe their inputs through
+:class:`repro.workloads.specs.WorkloadSpec`, so that a figure's workload is
+defined exactly once and the mapping from the paper's (cluster-size, graph
+scale) to this reproduction's laptop-scale equivalents lives in one place.
+"""
+
+from repro.workloads.specs import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    WorkloadSpec,
+    build_workload,
+    scaled_down_scale,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "build_workload",
+    "scaled_down_scale",
+]

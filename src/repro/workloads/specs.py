@@ -1,0 +1,192 @@
+"""Workload and experiment specifications shared by benchmarks and examples.
+
+The paper's evaluation uses graphs between scale 26 and scale 33 on up to 160
+GPUs.  This reproduction runs the identical pipeline at laptop scale; the
+mapping is recorded here so every benchmark states explicitly which paper
+experiment it regenerates and at which reduced scale.
+
+The rule of thumb is a fixed offset: paper scale ``N`` maps to repro scale
+``N - SCALE_OFFSET`` (default offset 12, so the paper's per-GPU scale 26
+becomes a per-GPU scale 14 here), with cluster shapes preserved where the GPU
+count still makes sense on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import friendster_like, wdc_like
+from repro.graph.rmat import generate_rmat
+from repro.partition.layout import ClusterLayout
+
+__all__ = [
+    "SCALE_OFFSET",
+    "WorkloadSpec",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "scaled_down_scale",
+    "build_workload",
+]
+
+#: Offset between the paper's RMAT scales and this reproduction's.
+SCALE_OFFSET = 12
+
+
+def scaled_down_scale(paper_scale: int, offset: int = SCALE_OFFSET) -> int:
+    """Map a paper RMAT scale to the laptop-scale equivalent (minimum 10)."""
+    return max(10, paper_scale - offset)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A concrete graph + cluster configuration for one experiment run."""
+
+    name: str
+    kind: str  # "rmat" | "friendster" | "wdc"
+    scale: int
+    layout_notation: str
+    threshold: int | None = None
+    seed: int = 11
+    num_sources: int = 6
+
+    def layout(self) -> ClusterLayout:
+        """The cluster layout object for this workload."""
+        return ClusterLayout.from_notation(self.layout_notation)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper table/figure and the workload(s) that regenerate it."""
+
+    experiment_id: str
+    paper_reference: str
+    description: str
+    bench_module: str
+    workloads: tuple = field(default_factory=tuple)
+
+
+def build_workload(spec: WorkloadSpec) -> EdgeList:
+    """Materialise the edge list for a workload spec."""
+    if spec.kind == "rmat":
+        return generate_rmat(spec.scale, rng=spec.seed)
+    if spec.kind == "friendster":
+        return friendster_like(num_vertices=1 << spec.scale, rng=spec.seed).prepared()
+    if spec.kind == "wdc":
+        return wdc_like(num_vertices=1 << spec.scale, rng=spec.seed).prepared()
+    raise ValueError(f"unknown workload kind {spec.kind!r}")
+
+
+#: Registry of every reproduced table and figure (also documented in DESIGN.md).
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig1": ExperimentSpec(
+        experiment_id="fig1",
+        paper_reference="Figure 1",
+        description="Landscape of prior work: scale vs processors, GTEPS per processor",
+        bench_module="benchmarks/test_fig01_landscape.py",
+    ),
+    "table1": ExperimentSpec(
+        experiment_id="table1",
+        paper_reference="Table I",
+        description="Memory usage of the partitioned representation",
+        bench_module="benchmarks/test_table1_memory.py",
+        workloads=(
+            WorkloadSpec("table1-rmat16-p16", "rmat", 16, "4x2x2", threshold=32),
+        ),
+    ),
+    "network": ExperimentSpec(
+        experiment_id="network",
+        paper_reference="Section VI-A1",
+        description="Network message-size sweep (optimum around 4 MB)",
+        bench_module="benchmarks/test_fig_network_message_size.py",
+    ),
+    "fig5": ExperimentSpec(
+        experiment_id="fig5",
+        paper_reference="Figure 5",
+        description="Edge/delegate distribution vs degree threshold (RMAT)",
+        bench_module="benchmarks/test_fig05_edge_distribution.py",
+        workloads=(WorkloadSpec("fig5-rmat17", "rmat", 17, "1x1x1"),),
+    ),
+    "fig6": ExperimentSpec(
+        experiment_id="fig6",
+        paper_reference="Figure 6",
+        description="Traversal rate vs degree threshold, BFS and DOBFS",
+        bench_module="benchmarks/test_fig06_threshold_sweep.py",
+        workloads=(WorkloadSpec("fig6-rmat15-16gpu", "rmat", 15, "4x1x4"),),
+    ),
+    "fig7": ExperimentSpec(
+        experiment_id="fig7",
+        paper_reference="Figure 7",
+        description="Suggested degree thresholds per RMAT scale",
+        bench_module="benchmarks/test_fig07_suggested_threshold.py",
+    ),
+    "fig8": ExperimentSpec(
+        experiment_id="fig8",
+        paper_reference="Figure 8",
+        description="Option ablation (DO / local-all2all / uniquify / IR vs BR)",
+        bench_module="benchmarks/test_fig08_option_ablation.py",
+        workloads=(
+            WorkloadSpec("fig8-rmat16-2x2", "rmat", 16, "4x2x2", threshold=64),
+            WorkloadSpec("fig8-rmat16-1x4", "rmat", 16, "4x1x4", threshold=64),
+        ),
+    ),
+    "fig9": ExperimentSpec(
+        experiment_id="fig9",
+        paper_reference="Figure 9",
+        description="Weak scaling with a fixed per-GPU RMAT scale",
+        bench_module="benchmarks/test_fig09_weak_scaling.py",
+    ),
+    "fig10": ExperimentSpec(
+        experiment_id="fig10",
+        paper_reference="Figure 10",
+        description="Runtime breakdown along the weak-scaling curve",
+        bench_module="benchmarks/test_fig10_runtime_breakdown.py",
+    ),
+    "fig11": ExperimentSpec(
+        experiment_id="fig11",
+        paper_reference="Figure 11",
+        description="Strong scaling on a fixed-scale RMAT graph",
+        bench_module="benchmarks/test_fig11_strong_scaling.py",
+        workloads=(WorkloadSpec("fig11-rmat18", "rmat", 18, "8x1x4"),),
+    ),
+    "table2": ExperimentSpec(
+        experiment_id="table2",
+        paper_reference="Table II",
+        description="Comparison with previous work",
+        bench_module="benchmarks/test_table2_comparison.py",
+    ),
+    "fig12": ExperimentSpec(
+        experiment_id="fig12",
+        paper_reference="Figure 12",
+        description="Friendster edge/delegate distribution vs threshold",
+        bench_module="benchmarks/test_fig12_friendster_distribution.py",
+        workloads=(WorkloadSpec("fig12-friendster", "friendster", 17, "1x1x1"),),
+    ),
+    "fig13": ExperimentSpec(
+        experiment_id="fig13",
+        paper_reference="Figure 13",
+        description="Friendster traversal rate vs threshold",
+        bench_module="benchmarks/test_fig13_friendster_rates.py",
+        workloads=(WorkloadSpec("fig13-friendster", "friendster", 15, "1x2x2"),),
+    ),
+    "wdc": ExperimentSpec(
+        experiment_id="wdc",
+        paper_reference="Section VI-D (WDC 2012)",
+        description="Long-tail web graph: BFS vs DOBFS with per-iteration overhead",
+        bench_module="benchmarks/test_fig_wdc_longtail.py",
+        workloads=(WorkloadSpec("wdc-like", "wdc", 15, "2x2x2", num_sources=4),),
+    ),
+    "factors": ExperimentSpec(
+        experiment_id="factors",
+        paper_reference="Section IV-B / VI-B",
+        description="Direction-switching factor sweep",
+        bench_module="benchmarks/test_fig_direction_factors.py",
+        workloads=(WorkloadSpec("factors-rmat14", "rmat", 14, "2x1x2"),),
+    ),
+    "commmodel": ExperimentSpec(
+        experiment_id="commmodel",
+        paper_reference="Section II-B vs V",
+        description="Analytic communication growth: 1D / 2D vs degree separation",
+        bench_module="benchmarks/test_fig_comm_model_scaling.py",
+    ),
+}

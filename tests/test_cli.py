@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import load_npz
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "g.npz"])
+        assert args.kind == "rmat"
+        assert args.scale == 16
+
+    def test_bfs_option_flags(self):
+        args = build_parser().parse_args(
+            ["bfs", "--scale", "12", "--no-direction-optimization", "--uniquify"]
+        )
+        assert args.no_direction_optimization
+        assert args.uniquify
+
+    def test_npz_and_scale_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bfs", "--npz", "x.npz", "--scale", "12"])
+
+
+class TestCommands:
+    def test_generate_writes_loadable_npz(self, tmp_path, capsys):
+        out = tmp_path / "graph.npz"
+        code = main(["generate", "--kind", "rmat", "--scale", "10", "--output", str(out)])
+        assert code == 0
+        edges = load_npz(out)
+        assert edges.num_vertices == 1024
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_friendster(self, tmp_path):
+        out = tmp_path / "fr.npz"
+        assert main(["generate", "--kind", "friendster", "--scale", "11", "--output", str(out)]) == 0
+        assert load_npz(out).num_vertices == 2048
+
+    def test_bfs_on_generated_graph(self, capsys):
+        code = main(
+            [
+                "bfs",
+                "--scale",
+                "11",
+                "--layout",
+                "2x1x2",
+                "--threshold",
+                "32",
+                "--sources",
+                "3",
+                "--validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geometric mean" in out
+        assert "validated" in out
+
+    def test_bfs_explicit_source_and_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        main(["generate", "--scale", "10", "--output", str(out)])
+        code = main(["bfs", "--npz", str(out), "--source", "0", "--layout", "1x1x2"])
+        assert code == 0
+        assert "source" in capsys.readouterr().out
+
+    def test_bfs_without_direction_optimization(self, capsys):
+        code = main(["bfs", "--scale", "10", "--no-direction-optimization", "--sources", "2"])
+        assert code == 0
+        assert "options BR" in capsys.readouterr().out
+
+    def test_census_prints_table_and_suggestion(self, capsys):
+        code = main(["census", "--scale", "11", "--gpus", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delegates%" in out
+        assert "suggested threshold" in out

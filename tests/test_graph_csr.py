@@ -1,0 +1,134 @@
+"""Tests for the CSR adjacency structure and its traversal helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        csr = CSRGraph.from_edges([0, 0, 2], [1, 2, 0], num_rows=3, num_cols=3)
+        assert csr.num_edges == 3
+        np.testing.assert_array_equal(csr.out_degrees(), [2, 0, 1])
+        np.testing.assert_array_equal(csr.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(csr.neighbors(1), [])
+
+    def test_rectangular_csr(self):
+        csr = CSRGraph.from_edges([0, 1], [5, 9], num_rows=2, num_cols=10)
+        assert csr.num_rows == 2 and csr.num_cols == 10
+
+    def test_empty(self):
+        csr = CSRGraph.empty(4, 7)
+        assert csr.num_edges == 0
+        assert csr.out_degrees().sum() == 0
+
+    def test_column_dtype_preserved(self):
+        csr32 = CSRGraph.from_edges([0], [1], 2, 2, column_dtype=np.int32)
+        csr64 = CSRGraph.from_edges([0], [1], 2, 2, column_dtype=np.int64)
+        assert csr32.column_dtype == np.int32
+        assert csr64.column_dtype == np.int64
+
+    def test_nbytes_accounting(self):
+        csr32 = CSRGraph.from_edges([0, 1], [1, 0], 2, 2, column_dtype=np.int32)
+        csr64 = CSRGraph.from_edges([0, 1], [1, 0], 2, 2, column_dtype=np.int64)
+        assert csr32.nbytes() == 4 * 3 + 4 * 2
+        assert csr64.nbytes() == 8 * 3 + 8 * 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0], [5], num_rows=1, num_cols=3)
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([5], [0], num_rows=1, num_cols=3)
+        with pytest.raises(ValueError):
+            CSRGraph(np.asarray([0, 1]), np.asarray([0]), num_rows=2, num_cols=1)
+        with pytest.raises(ValueError):
+            CSRGraph(np.asarray([0, 2, 1]), np.asarray([0, 0]), num_rows=2, num_cols=1)
+
+    def test_from_edgelist_square(self):
+        edges = EdgeList([0, 1, 2], [1, 2, 0], 3)
+        csr = CSRGraph.from_edgelist(edges)
+        assert csr.num_rows == csr.num_cols == 3
+        assert csr.num_edges == 3
+
+    def test_neighbors_out_of_range(self):
+        csr = CSRGraph.empty(2, 2)
+        with pytest.raises(IndexError):
+            csr.neighbors(5)
+
+
+class TestGatherNeighbors:
+    def test_gather_concatenates_neighbor_lists(self):
+        csr = CSRGraph.from_edges([0, 0, 1, 3], [1, 2, 3, 0], 4, 4)
+        rows, cols = csr.gather_neighbors(np.asarray([0, 3]))
+        np.testing.assert_array_equal(rows, [0, 0, 3])
+        np.testing.assert_array_equal(cols, [1, 2, 0])
+
+    def test_gather_empty_frontier(self):
+        csr = CSRGraph.from_edges([0], [1], 2, 2)
+        rows, cols = csr.gather_neighbors(np.zeros(0, dtype=np.int64))
+        assert rows.size == 0 and cols.size == 0
+
+    def test_gather_rows_with_no_neighbors(self):
+        csr = CSRGraph.from_edges([0], [1], 3, 3)
+        rows, cols = csr.gather_neighbors(np.asarray([1, 2]))
+        assert cols.size == 0
+
+    def test_gather_duplicated_rows_counts_twice(self):
+        csr = CSRGraph.from_edges([0, 0], [1, 2], 2, 3)
+        _, cols = csr.gather_neighbors(np.asarray([0, 0]))
+        assert cols.size == 4
+
+    def test_gather_out_of_range_raises(self):
+        csr = CSRGraph.empty(2, 2)
+        with pytest.raises(IndexError):
+            csr.gather_neighbors(np.asarray([5]))
+
+    def test_frontier_workload(self):
+        csr = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], 3, 3)
+        assert csr.frontier_workload(np.asarray([0])) == 2
+        assert csr.frontier_workload(np.asarray([0, 1])) == 3
+        assert csr.frontier_workload(np.zeros(0, dtype=np.int64)) == 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_gather_matches_per_row_lists(self, n, data):
+        pairs = data.draw(
+            st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=80)
+        )
+        src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        dst = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        csr = CSRGraph.from_edges(src, dst, n, n)
+        frontier = data.draw(
+            st.lists(st.integers(0, n - 1), max_size=10).map(np.asarray)
+        )
+        frontier = np.asarray(frontier, dtype=np.int64)
+        rows, cols = csr.gather_neighbors(frontier)
+        expected_cols = np.concatenate(
+            [csr.neighbors(int(r)) for r in frontier]
+        ) if frontier.size else np.zeros(0, dtype=np.int64)
+        np.testing.assert_array_equal(np.asarray(cols, dtype=np.int64), expected_cols)
+        assert rows.size == cols.size
+
+
+class TestReverseAndScipy:
+    def test_reversed_transposes(self):
+        csr = CSRGraph.from_edges([0, 1], [2, 0], 3, 3)
+        rev = csr.reversed()
+        assert rev.num_edges == 2
+        np.testing.assert_array_equal(rev.neighbors(2), [0])
+        np.testing.assert_array_equal(rev.neighbors(0), [1])
+
+    def test_to_scipy_shape_and_count(self):
+        csr = CSRGraph.from_edges([0, 1, 1], [1, 0, 2], 2, 3)
+        mat = csr.to_scipy()
+        assert mat.shape == (2, 3)
+        assert mat.nnz == 3

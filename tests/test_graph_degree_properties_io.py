@@ -1,0 +1,128 @@
+"""Tests for degree analysis, whole-graph properties, permutation and I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degree_histogram, degree_summary, in_degrees, out_degrees
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import path_edges, star_edges
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+from repro.graph.permute import apply_vertex_permutation, hashed_relabel, invert_permutation
+from repro.graph.properties import analyze_graph, bfs_depth_estimate
+from repro.graph.rmat import generate_rmat
+
+
+class TestDegrees:
+    def test_out_and_in_degrees(self):
+        e = EdgeList([0, 0, 1], [1, 2, 2], 4)
+        np.testing.assert_array_equal(out_degrees(e), [2, 1, 0, 0])
+        np.testing.assert_array_equal(in_degrees(e), [0, 1, 2, 0])
+
+    def test_histogram(self):
+        values, counts = degree_histogram(np.asarray([0, 0, 1, 3, 3, 3]))
+        np.testing.assert_array_equal(values, [0, 1, 3])
+        np.testing.assert_array_equal(counts, [2, 1, 3])
+
+    def test_histogram_empty(self):
+        values, counts = degree_histogram(np.zeros(0, dtype=np.int64))
+        assert values.size == 0 and counts.size == 0
+
+    def test_summary_star(self):
+        s = degree_summary(star_edges(9))
+        assert s.max_degree == 9
+        assert s.isolated_vertices == 9
+        assert s.gini > 0.8  # a star is maximally unequal
+
+    def test_summary_regular_graph_has_low_gini(self):
+        e = path_edges(100).prepared(hash_seed=None)
+        s = degree_summary(e)
+        assert s.gini < 0.2
+
+
+class TestProperties:
+    def test_path_diameter_estimate(self):
+        e = path_edges(30).prepared(hash_seed=None)
+        assert bfs_depth_estimate(e, source=0) == 29
+
+    def test_analyze_counts_components(self):
+        # Two disjoint edges -> 2 components + 1 isolated vertex = 3 weak comps.
+        e = EdgeList([0, 2], [1, 3], 5).prepared(hash_seed=None)
+        props = analyze_graph(e)
+        assert props.num_components == 3
+        assert props.num_isolated == 1
+        assert props.largest_component_size == 2
+
+    def test_analyze_empty_graph(self):
+        props = analyze_graph(EdgeList([], [], 0))
+        assert props.num_vertices == 0
+        assert props.num_components == 0
+
+
+class TestPermute:
+    def test_invert_permutation(self):
+        perm = np.asarray([2, 0, 1])
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], [0, 1, 2])
+
+    def test_apply_permutation_matches_edgelist_method(self):
+        e = EdgeList([0, 1], [1, 2], 3)
+        perm = np.asarray([1, 2, 0])
+        a = apply_vertex_permutation(e, perm)
+        b = e.relabeled(perm)
+        np.testing.assert_array_equal(a.src, b.src)
+
+    def test_hashed_relabel_returns_permutation(self):
+        e = generate_rmat(8, rng=1, hash_seed=None)
+        relabeled, perm = hashed_relabel(e, seed=9)
+        assert perm.shape == (e.num_vertices,)
+        # Mapping back with the inverse permutation restores the original.
+        inv = invert_permutation(perm)
+        restored = relabeled.relabeled(inv)
+        assert {(int(s), int(d)) for s, d in zip(restored.src, restored.dst)} == {
+            (int(s), int(d)) for s, d in zip(e.src, e.dst)
+        }
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        e = generate_rmat(8, rng=3)
+        path = tmp_path / "graph.npz"
+        save_npz(path, e)
+        loaded = load_npz(path)
+        assert loaded.num_vertices == e.num_vertices
+        np.testing.assert_array_equal(loaded.src, e.src)
+        np.testing.assert_array_equal(loaded.dst, e.dst)
+
+    def test_npz_rejects_wrong_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+    def test_text_roundtrip_with_header(self, tmp_path):
+        e = EdgeList([0, 4], [4, 2], 10)
+        path = tmp_path / "graph.txt"
+        save_text(path, e)
+        loaded = load_text(path)
+        assert loaded.num_vertices == 10
+        np.testing.assert_array_equal(loaded.src, e.src)
+
+    def test_text_roundtrip_without_header(self, tmp_path):
+        e = EdgeList([0, 4], [4, 2], 10)
+        path = tmp_path / "graph.txt"
+        save_text(path, e, header=False)
+        loaded = load_text(path)
+        # Without a header the vertex count is inferred from the max id.
+        assert loaded.num_vertices == 5
+        loaded10 = load_text(path, num_vertices=10)
+        assert loaded10.num_vertices == 10
+
+    def test_text_empty_graph(self, tmp_path):
+        e = EdgeList([], [], 3)
+        path = tmp_path / "empty.txt"
+        save_text(path, e)
+        loaded = load_text(path, num_vertices=3)
+        assert loaded.num_edges == 0
+        assert loaded.num_vertices == 3

@@ -1,0 +1,170 @@
+"""Integration tests exercising whole experiment pipelines at reduced size.
+
+These mirror the benchmark harnesses but run at very small scale so the test
+suite stays fast; their purpose is to assert the *qualitative* claims of the
+paper that the benchmarks then report quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DistributedBFS
+from repro.core.options import BFSOptions
+from repro.graph.generators import friendster_like, wdc_like
+from repro.graph.rmat import generate_rmat
+from repro.partition.delegates import census_for_thresholds, suggest_threshold
+from repro.partition.layout import ClusterLayout
+from repro.partition.memory import memory_usage
+from repro.partition.subgraphs import build_partitions
+from repro.perfmodel.scaling import run_configuration
+from repro.perfmodel.teps import rmat_counted_edges
+
+
+@pytest.fixture(scope="module")
+def rmat13():
+    return generate_rmat(13, rng=4)
+
+
+class TestFigure5Shape:
+    def test_edge_distribution_crossover(self, rmat13):
+        """Fig 5: at tiny TH everything is dd, at huge TH everything is nn,
+        and the nd+dn share peaks somewhere in between."""
+        censuses = census_for_thresholds(rmat13, [1, 4, 16, 64, 256, 2048, 1 << 20])
+        assert censuses[0].dd_percentage > 90
+        assert censuses[-1].nn_percentage > 99
+        middle_nddn = max(c.nd_dn_percentage for c in censuses[1:-1])
+        assert middle_nddn > censuses[0].nd_dn_percentage
+        assert middle_nddn > censuses[-1].nd_dn_percentage
+
+
+class TestFigure6And7Shape:
+    def test_suggested_threshold_grows_with_scale(self):
+        """Fig 7: along the weak-scaling curve (a fixed per-GPU scale, so the
+        GPU count doubles with every scale step), the suggested TH grows."""
+        ths = []
+        for scale in [10, 12, 14]:
+            edges = generate_rmat(scale, rng=2)
+            gpus = 2 ** (scale - 10)
+            ths.append(suggest_threshold(edges, num_gpus=max(1, gpus)))
+        assert ths[0] <= ths[1] <= ths[2]
+        assert ths[2] > ths[0]
+
+    def test_threshold_controls_communication_tradeoff(self, rmat13):
+        """Fig 6's mechanism: a tiny TH shifts traffic into delegate masks, a
+        huge TH shifts it into the normal point-to-point exchange, and the
+        mid-range threshold keeps both small."""
+        layout = ClusterLayout(2, 2)
+        counted = rmat_counted_edges(13)
+        src = int(np.argmax(np.bincount(rmat13.src, minlength=rmat13.num_vertices)))
+        runs = {}
+        for th in [2, 64, 1 << 18]:
+            graph = build_partitions(rmat13, layout, th)
+            runs[th] = DistributedBFS(graph).run(src)
+        # Mask traffic shrinks as TH grows; normal-exchange traffic grows.
+        assert runs[2].comm_stats.delegate_mask_bytes > runs[64].comm_stats.delegate_mask_bytes
+        assert runs[1 << 18].comm_stats.delegate_mask_bytes == 0
+        assert runs[64].comm_stats.normal_bytes_remote < runs[1 << 18].comm_stats.normal_bytes_remote
+        # All configurations produce a usable rate and identical answers.
+        for result in runs.values():
+            assert result.gteps(counted) > 0
+            np.testing.assert_array_equal(result.distances, runs[64].distances)
+
+
+class TestFigure8Shape:
+    def test_do_cuts_computation_time(self, rmat13):
+        """Fig 8: DO cuts the computation part of the runtime by a large factor.
+
+        At laptop scale the fixed kernel-launch overheads would mask the
+        saving, so this test uses a hardware spec with negligible overheads —
+        the regime the paper's billion-edge graphs are in anyway.
+        """
+        from repro.cluster.hardware import HardwareSpec
+
+        hw = HardwareSpec(kernel_overhead_s=2e-7, iteration_overhead_s=2e-7)
+        layout = ClusterLayout(4, 1)
+        graph = build_partitions(rmat13, layout, 64)
+        src = int(np.argmax(np.bincount(rmat13.src, minlength=rmat13.num_vertices)))
+        plain = DistributedBFS(
+            graph, options=BFSOptions(direction_optimized=False), hardware=hw
+        ).run(src)
+        optimized = DistributedBFS(graph, options=BFSOptions(), hardware=hw).run(src)
+        assert optimized.timing.computation < 0.6 * plain.timing.computation
+
+    def test_blocking_reduce_faster_than_nonblocking(self, rmat13):
+        """Fig 8: BR beats IR on the modeled Ray network at >= 8 ranks."""
+        layout = ClusterLayout(8, 1)
+        graph = build_partitions(rmat13, layout, 64)
+        src = int(np.argmax(np.bincount(rmat13.src, minlength=rmat13.num_vertices)))
+        br = DistributedBFS(graph, options=BFSOptions(blocking_reduce=True)).run(src)
+        ir = DistributedBFS(graph, options=BFSOptions(blocking_reduce=False)).run(src)
+        assert br.timing.remote_delegate_reduce < ir.timing.remote_delegate_reduce
+        np.testing.assert_array_equal(br.distances, ir.distances)
+
+
+class TestScalingShape:
+    def test_weak_scaling_aggregate_rate_grows(self):
+        """Fig 9: aggregate GTEPS increases as GPUs (and the graph) grow."""
+        small = run_configuration(scale=11, layout=ClusterLayout(1, 2), threshold=32, num_sources=4, seed=9)
+        large = run_configuration(scale=13, layout=ClusterLayout(4, 2), threshold=45, num_sources=4, seed=9)
+        assert large.gteps_geo_mean > small.gteps_geo_mean
+
+    def test_strong_scaling_communication_share_grows(self):
+        """Fig 11: with a fixed graph, more GPUs means communication takes a
+        growing share of the runtime (which eventually flattens the curve)."""
+        edges = generate_rmat(13, rng=4)
+        src = int(np.argmax(np.bincount(edges.src, minlength=edges.num_vertices)))
+        shares = []
+        for ranks in [2, 8]:
+            layout = ClusterLayout(ranks, 2)
+            graph = build_partitions(edges, layout, 64)
+            result = DistributedBFS(graph).run(src)
+            comm = (
+                result.timing.remote_normal_exchange
+                + result.timing.remote_delegate_reduce
+                + result.timing.local_communication
+            )
+            shares.append(comm / result.timing.parts_sum())
+        assert shares[1] > shares[0]
+
+
+class TestTable1Shape:
+    def test_memory_about_a_third_of_edge_list(self, rmat13):
+        layout = ClusterLayout(2, 2)
+        th = suggest_threshold(rmat13, layout.num_gpus)
+        graph = build_partitions(rmat13, layout, th)
+        analytic, measured = memory_usage(graph)
+        assert 0.25 < analytic.vs_edge_list < 0.5
+        assert 0.4 < analytic.vs_plain_csr < 0.8
+        assert measured.partitioned_bytes == pytest.approx(analytic.partitioned_bytes, rel=0.2)
+
+
+class TestGeneralGraphs:
+    def test_friendster_like_pipeline(self):
+        """Figs 12-13: the social-network substitute runs end to end and has a
+        wide band of acceptable thresholds."""
+        edges = friendster_like(num_vertices=1 << 12, rng=6).prepared()
+        layout = ClusterLayout(2, 2)
+        censuses = census_for_thresholds(edges, [16, 64, 128])
+        assert censuses[0].delegate_percentage > censuses[-1].delegate_percentage
+        graph = build_partitions(edges, layout, 32)
+        deg = np.bincount(edges.src, minlength=edges.num_vertices)
+        src = int(np.argmax(deg))
+        result = DistributedBFS(graph).run(src)
+        assert result.num_visited > edges.num_vertices * 0.25
+
+    def test_wdc_like_long_tail_makes_do_unattractive(self):
+        """§VI-D: on a long-tail graph DOBFS is not faster than plain BFS."""
+        edges = wdc_like(num_vertices=1 << 12, rng=6).prepared()
+        layout = ClusterLayout(2, 2)
+        graph = build_partitions(edges, layout, 64)
+        deg = np.bincount(edges.src, minlength=edges.num_vertices)
+        src = int(np.argmax(deg))
+        plain = DistributedBFS(graph, options=BFSOptions(direction_optimized=False)).run(src)
+        do = DistributedBFS(graph, options=BFSOptions()).run(src)
+        np.testing.assert_array_equal(plain.distances, do.distances)
+        assert plain.iterations > 30  # long tail
+        # The workload saving of DO is marginal here (within 40% of plain),
+        # unlike the >3x saving on RMAT.
+        assert do.total_edges_examined > 0.3 * plain.total_edges_examined

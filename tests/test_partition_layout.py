@@ -1,0 +1,112 @@
+"""Tests for the cluster layout / vertex ownership arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.layout import ClusterLayout
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        layout = ClusterLayout(num_ranks=4, gpus_per_rank=2)
+        assert layout.num_gpus == 8
+        assert layout.nodes == 4
+        assert layout.ranks_per_node == 1
+
+    def test_explicit_nodes(self):
+        layout = ClusterLayout(num_ranks=4, gpus_per_rank=2, num_nodes=2)
+        assert layout.nodes == 2
+        assert layout.ranks_per_node == 2
+        assert layout.notation() == "2x2x2"
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            ClusterLayout(0, 1)
+        with pytest.raises(ValueError):
+            ClusterLayout(1, 0)
+        with pytest.raises(ValueError):
+            ClusterLayout(3, 1, num_nodes=2)
+        with pytest.raises(ValueError):
+            ClusterLayout(2, 2, num_nodes=0)
+
+    def test_notation_roundtrip(self):
+        for text in ["1x1x1", "4x2x2", "31x2x2", "2x1x4"]:
+            layout = ClusterLayout.from_notation(text)
+            assert layout.notation() == text
+
+    def test_notation_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ClusterLayout.from_notation("4x2")
+
+
+class TestOwnership:
+    def test_paper_formulas(self):
+        layout = ClusterLayout(num_ranks=3, gpus_per_rank=2)
+        v = np.arange(30)
+        np.testing.assert_array_equal(layout.rank_of(v), v % 3)
+        np.testing.assert_array_equal(layout.gpu_of(v), (v // 3) % 2)
+
+    def test_flat_gpu_consistent_with_rank_gpu(self):
+        layout = ClusterLayout(num_ranks=3, gpus_per_rank=4)
+        v = np.arange(100)
+        flat = layout.flat_gpu_of(v)
+        np.testing.assert_array_equal(flat, layout.rank_of(v) * 4 + layout.gpu_of(v))
+
+    def test_local_global_roundtrip(self):
+        layout = ClusterLayout(num_ranks=2, gpus_per_rank=3)
+        n = 101
+        for g in range(layout.num_gpus):
+            owned = layout.owned_vertices(g, n)
+            assert owned.size == layout.num_local_vertices(g, n)
+            local = layout.local_index_of(owned)
+            back = layout.global_from_local(g, local)
+            np.testing.assert_array_equal(back, owned)
+            np.testing.assert_array_equal(layout.flat_gpu_of(owned), g)
+
+    def test_every_vertex_owned_exactly_once(self):
+        layout = ClusterLayout(num_ranks=3, gpus_per_rank=2)
+        n = 77
+        all_owned = np.concatenate(
+            [layout.owned_vertices(g, n) for g in range(layout.num_gpus)]
+        )
+        np.testing.assert_array_equal(np.sort(all_owned), np.arange(n))
+
+    def test_max_local_vertices(self):
+        layout = ClusterLayout(num_ranks=2, gpus_per_rank=2)
+        assert layout.max_local_vertices(100) == 25
+        assert layout.max_local_vertices(101) == 26
+
+    def test_rank_gpu_of_flat_bounds(self):
+        layout = ClusterLayout(num_ranks=2, gpus_per_rank=2)
+        with pytest.raises(ValueError):
+            layout.rank_gpu_of_flat(4)
+        assert layout.rank_gpu_of_flat(3) == (1, 1)
+
+    @given(
+        prank=st.integers(1, 8),
+        pgpu=st.integers(1, 6),
+        n=st.integers(1, 500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_ownership_partition(self, prank, pgpu, n):
+        """Ownership must partition the vertex set and local ids must be bounded."""
+        layout = ClusterLayout(num_ranks=prank, gpus_per_rank=pgpu)
+        v = np.arange(n)
+        flat = layout.flat_gpu_of(v)
+        local = layout.local_index_of(v)
+        assert flat.min() >= 0 and flat.max() < layout.num_gpus
+        assert local.max() < layout.max_local_vertices(n)
+        # Reconstruct the global id from (flat GPU, local index) and compare.
+        offsets = np.asarray(
+            [layout.vertex_offset_of_flat(int(f)) for f in flat], dtype=np.int64
+        )
+        np.testing.assert_array_equal(local * layout.num_gpus + offsets, v)
+        # Per-GPU counts sum to n.
+        counts = np.asarray(
+            [layout.num_local_vertices(g, n) for g in range(layout.num_gpus)]
+        )
+        assert counts.sum() == n

@@ -1,0 +1,129 @@
+"""Tests for the Graph500-style validator and the workload registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial_bfs import serial_bfs
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path_edges
+from repro.validate.graph500 import validate_distances
+from repro.workloads.specs import (
+    EXPERIMENTS,
+    SCALE_OFFSET,
+    WorkloadSpec,
+    build_workload,
+    scaled_down_scale,
+)
+
+
+class TestValidator:
+    def test_accepts_correct_distances(self, rmat_small, rmat_small_csr):
+        dist = serial_bfs(rmat_small_csr, 4)
+        report = validate_distances(rmat_small, 4, dist)
+        assert report.valid
+        assert report.num_visited == int(np.count_nonzero(dist >= 0))
+        report.raise_if_invalid()  # must not raise
+
+    def test_rejects_wrong_source_level(self, rmat_small, rmat_small_csr):
+        dist = serial_bfs(rmat_small_csr, 4).copy()
+        dist[4] = 1
+        report = validate_distances(rmat_small, 4, dist)
+        assert not report.valid
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+    def test_rejects_level_skip(self, path_graph):
+        dist = serial_bfs(CSRGraph.from_edgelist(path_graph), 0).copy()
+        dist[10] = 99  # breaks the edge condition around vertex 10
+        report = validate_distances(path_graph, 0, dist)
+        assert not report.valid
+        assert any("spans levels" in e or "in-neighbour" in e for e in report.errors)
+
+    def test_rejects_missing_parent(self, rmat_small, rmat_small_csr):
+        dist = serial_bfs(rmat_small_csr, 4).copy()
+        visited = np.flatnonzero(dist > 0)
+        dist[visited[0]] = dist.max() + 1
+        report = validate_distances(rmat_small, 4, dist)
+        assert not report.valid
+
+    def test_rejects_unvisited_neighbor_of_visited(self, path_graph):
+        dist = serial_bfs(CSRGraph.from_edgelist(path_graph), 0).copy()
+        dist[dist >= 25] = -1  # truncate the traversal artificially
+        report = validate_distances(path_graph, 0, dist)
+        assert not report.valid
+        assert any("connects visited and unvisited" in e for e in report.errors)
+
+    def test_rejects_reference_mismatch(self, rmat_small, rmat_small_csr):
+        dist = serial_bfs(rmat_small_csr, 4)
+        ref = dist.copy()
+        ref[ref >= 0] += 0  # identical
+        ok = validate_distances(rmat_small, 4, dist, reference=ref)
+        assert ok.valid
+        ref2 = dist.copy()
+        changed = np.flatnonzero(ref2 > 0)[0]
+        ref2[changed] += 1
+        bad = validate_distances(rmat_small, 4, dist, reference=ref2)
+        assert not bad.valid
+
+    def test_rejects_wrong_shape(self, rmat_small):
+        report = validate_distances(rmat_small, 0, np.zeros(3, dtype=np.int64))
+        assert not report.valid
+
+    def test_multiple_zero_distances_rejected(self, path_graph):
+        dist = serial_bfs(CSRGraph.from_edgelist(path_graph), 0).copy()
+        dist[1] = 0
+        report = validate_distances(path_graph, 0, dist)
+        assert not report.valid
+
+
+class TestWorkloads:
+    def test_scaled_down_scale(self):
+        assert scaled_down_scale(26) == 26 - SCALE_OFFSET
+        assert scaled_down_scale(5) == 10  # floor at 10
+
+    def test_registry_covers_all_paper_experiments(self):
+        expected = {
+            "fig1",
+            "table1",
+            "network",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "table2",
+            "fig12",
+            "fig13",
+            "wdc",
+            "factors",
+            "commmodel",
+        }
+        assert expected == set(EXPERIMENTS)
+        for spec in EXPERIMENTS.values():
+            assert spec.bench_module.startswith("benchmarks/")
+            assert spec.paper_reference
+
+    def test_workload_layouts_parse(self):
+        for spec in EXPERIMENTS.values():
+            for workload in spec.workloads:
+                layout = workload.layout()
+                assert layout.num_gpus >= 1
+
+    def test_build_workload_rmat(self):
+        edges = build_workload(WorkloadSpec("t", "rmat", 10, "1x1x2"))
+        assert edges.num_vertices == 1024
+        assert edges.is_symmetric()
+
+    def test_build_workload_friendster_and_wdc(self):
+        fr = build_workload(WorkloadSpec("t", "friendster", 11, "1x1x2"))
+        assert fr.num_vertices == 2048
+        wdc = build_workload(WorkloadSpec("t", "wdc", 11, "1x1x2"))
+        assert wdc.num_vertices == 2048
+
+    def test_build_workload_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_workload(WorkloadSpec("t", "mystery", 10, "1x1x1"))
