@@ -81,6 +81,16 @@ def high_degree_source(edges) -> int:
     return int(np.argmax(out_degrees(edges)))
 
 
+def campaign_geo_mean_gteps(engine, sources, counted_edges=None) -> float:
+    """Geometric-mean GTEPS over sources, with the paper's skip rule.
+
+    The aggregation protocol (run every source, drop single-iteration runs,
+    geometric-mean the rest) lives in :class:`repro.core.campaign.Campaign`;
+    this helper is the one-liner the sweep benchmarks share.
+    """
+    return engine.run_many(sources).geo_mean_gteps(counted_edges)
+
+
 @pytest.fixture(scope="session")
 def rmat_bench_graphs():
     """Cache of prepared RMAT graphs shared by several benchmarks."""

@@ -11,7 +11,7 @@ well under 2x across the swept thresholds (the wide-plateau observation).
 from __future__ import annotations
 
 import numpy as np
-from conftest import paper_regime_hardware, print_table
+from conftest import campaign_geo_mean_gteps, paper_regime_hardware, print_table
 
 from repro.core.engine import DistributedBFS
 from repro.core.options import BFSOptions
@@ -20,7 +20,6 @@ from repro.graph.generators import friendster_like
 from repro.partition.layout import ClusterLayout
 from repro.partition.subgraphs import build_partitions
 from repro.utils.rng import random_sources
-from repro.utils.stats import geometric_mean
 
 
 def test_fig13_friendster_threshold_sweep(benchmark):
@@ -41,12 +40,7 @@ def test_fig13_friendster_threshold_sweep(benchmark):
                 ("dobfs_gteps", BFSOptions(direction_optimized=True)),
             ]:
                 engine = DistributedBFS(graph, options=opts, hardware=hardware)
-                rates = [
-                    r.gteps(counted)
-                    for r in (engine.run(int(s)) for s in sources)
-                    if r.traversed_more_than_one_iteration()
-                ]
-                row[label] = geometric_mean(rates)
+                row[label] = campaign_geo_mean_gteps(engine, sources, counted)
             rows.append(row)
         return rows
 

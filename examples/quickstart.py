@@ -6,7 +6,9 @@ This is the smallest end-to-end use of the library:
 1. generate a Graph500 RMAT graph (the paper's benchmark workload),
 2. choose a degree threshold and partition the graph across a virtual
    4-node x 1-rank x 2-GPU cluster with the paper's edge distributor,
-3. run direction-optimized BFS from a few random sources,
+3. run direction-optimized BFS from a few random sources (one *campaign*,
+   aggregated the way the paper reports: geometric mean, single-iteration
+   runs skipped),
 4. validate the hop distances against an independent serial BFS, and
 5. print the traversal rates and the modeled runtime breakdown.
 
@@ -22,67 +24,59 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
-
-from repro import (
-    BFSOptions,
-    ClusterLayout,
-    DistributedBFS,
-    build_partitions,
-    generate_rmat,
-    suggest_threshold,
-    validate_distances,
-)
+import repro
 from repro.baselines import serial_bfs
 from repro.graph.csr import CSRGraph
-from repro.graph.degree import out_degrees
 from repro.perfmodel.teps import rmat_counted_edges
-from repro.utils.rng import random_sources
-from repro.utils.stats import geometric_mean
+from repro.validate import validate_distances
 
 
 def main(scale: int = 14) -> None:
     print(f"== Generating a scale-{scale} Graph500 RMAT graph ==")
-    edges = generate_rmat(scale, rng=7)
-    print(f"   vertices: {edges.num_vertices:,}   directed edges: {edges.num_edges:,}")
-
-    layout = ClusterLayout.from_notation("4x1x2")
-    threshold = suggest_threshold(edges, layout.num_gpus)
-    print(f"== Partitioning over a {layout.notation()} virtual cluster (TH={threshold}) ==")
-    graph = build_partitions(edges, layout, threshold)
-    print(
-        f"   delegates: {graph.num_delegates:,} "
-        f"({100 * graph.num_delegates / graph.num_vertices:.2f}% of vertices), "
-        f"nn edges: {graph.census.nn_percentage:.2f}%"
+    graph = (
+        repro.session(layout="4x1x2")
+        .generate(scale=scale, seed=7)
+        .threshold(repro.auto)
+        .build()
     )
-    print(f"   partitioned storage: {graph.total_nbytes() / 1e6:.1f} MB "
+    edges = graph.edges
+    print(f"   vertices: {edges.num_vertices:,}   directed edges: {edges.num_edges:,}")
+    print(
+        f"   delegates: {graph.graph.num_delegates:,} "
+        f"({100 * graph.graph.num_delegates / graph.graph.num_vertices:.2f}% of vertices), "
+        f"nn edges: {graph.graph.census.nn_percentage:.2f}% (TH={graph.graph.threshold})"
+    )
+    print(f"   partitioned storage: {graph.graph.total_nbytes() / 1e6:.1f} MB "
           f"vs {16 * edges.num_edges / 1e6:.1f} MB as a plain edge list")
 
-    engine = DistributedBFS(graph, options=BFSOptions())
     counted = rmat_counted_edges(scale)
-    sources = random_sources(edges.num_vertices, 5, rng=1, degrees=out_degrees(edges))
     reference_csr = CSRGraph.from_edgelist(edges)
 
-    print("== Running DOBFS from 5 random sources ==")
-    rates = []
-    for source in sources:
-        result = engine.run(int(source))
-        if not result.traversed_more_than_one_iteration():
-            continue
-        reference = serial_bfs(reference_csr, int(source))
-        report = validate_distances(edges, int(source), result.distances, reference=reference)
+    def validate(result) -> None:
+        reference = serial_bfs(reference_csr, result.source)
+        report = validate_distances(edges, result.source, result.distances, reference=reference)
         report.raise_if_invalid()
-        rates.append(result.gteps(counted))
+
+    def report(result) -> None:
+        if not result.traversed_more_than_one_iteration():
+            return
         timing = result.timing
         print(
-            f"   source {int(source):>8}: {result.num_visited:,} vertices in "
+            f"   source {result.source:>8}: {result.num_visited:,} vertices in "
             f"{result.iterations} iterations, modeled {timing.elapsed_ms:.3f} ms "
             f"({result.gteps(counted):.2f} GTEPS)  "
             f"[comp {timing.computation:.3f} | local {timing.local_communication:.3f} | "
             f"normal {timing.remote_normal_exchange:.3f} | "
             f"delegate {timing.remote_delegate_reduce:.3f} ms]"
         )
-    print(f"== Geometric-mean traversal rate: {geometric_mean(rates):.2f} GTEPS ==")
+
+    print("== Running a DOBFS campaign from 5 random sources ==")
+    campaign = graph.campaign(sources=5, seed=1, validate=validate, on_result=report)
+    print(
+        f"== Geometric-mean traversal rate: {campaign.geo_mean_gteps(counted):.2f} GTEPS "
+        f"over {len(campaign.reported)} reported runs "
+        f"({len(campaign.skipped)} skipped) =="
+    )
     print("   (all runs validated against a serial reference BFS)")
 
 

@@ -5,18 +5,34 @@ The library implements the complete system described by Pan, Pearce and Owens
 cluster: degree separation of vertices into delegates and normal vertices, the
 modular edge distributor, the four per-GPU CSR subgraphs with 32-bit local
 ids, per-subgraph direction-optimized traversal kernels, and the two-part
-communication model (global delegate-mask reductions plus point-to-point
+communication model (global delegate reductions plus point-to-point
 normal-vertex exchange) — together with the baselines, analytic cost models
 and experiment harnesses needed to regenerate every table and figure of the
 paper's evaluation at laptop scale.
 
-Quickstart
-----------
+Beyond the paper, the traversal core is an algorithm-agnostic
+:class:`TraversalEngine` executing pluggable :class:`FrontierProgram` s
+(Gunrock-style operator decomposition): BFS hop levels, Graph500 parent
+trees, connected components and k-hop reachability all share the
+partitioner, the communication channels and the performance model.
+
+Quickstart (fluent API)
+-----------------------
+>>> import repro
+>>> graph = repro.session(layout="2x1x2").generate(scale=12, seed=3).threshold(repro.auto).build()
+>>> result = graph.bfs(source=0)
+>>> result.distances.shape
+(4096,)
+>>> graph.components().num_components >= 1
+True
+
+Quickstart (explicit API, as the benchmarks use it)
+---------------------------------------------------
 >>> from repro import ClusterLayout, DistributedBFS, build_partitions, generate_rmat
 >>> edges = generate_rmat(12, rng=3)
 >>> layout = ClusterLayout(num_ranks=2, gpus_per_rank=2)
->>> graph = build_partitions(edges, layout, threshold=64)
->>> result = DistributedBFS(graph).run(source=0)
+>>> pgraph = build_partitions(edges, layout, threshold=64)
+>>> result = DistributedBFS(pgraph).run(source=0)
 >>> result.distances.shape
 (4096,)
 
@@ -25,26 +41,66 @@ per-figure experiment harnesses.
 """
 
 from repro.cluster import HardwareSpec, NetworkModel
-from repro.core import BFSOptions, BFSResult, DistributedBFS
+from repro.core import (
+    BFSLevels,
+    BFSOptions,
+    BFSParents,
+    BFSResult,
+    Campaign,
+    ComponentsResult,
+    ConnectedComponents,
+    DistributedBFS,
+    FrontierProgram,
+    KHopReachability,
+    ParentTreeResult,
+    ReachabilityResult,
+    TraversalEngine,
+    TraversalResult,
+    run_campaign,
+)
 from repro.graph import EdgeList, friendster_like, generate_rmat, wdc_like
 from repro.partition import ClusterLayout, build_partitions, suggest_threshold
+from repro.session import GraphSession, Session, auto, session
 from repro.validate import validate_distances
 
 __all__ = [
     "__version__",
+    # graphs
     "EdgeList",
     "generate_rmat",
     "friendster_like",
     "wdc_like",
+    # partitioning
     "ClusterLayout",
     "build_partitions",
     "suggest_threshold",
+    # engine + programs
+    "TraversalEngine",
     "DistributedBFS",
-    "BFSOptions",
+    "FrontierProgram",
+    "BFSLevels",
+    "BFSParents",
+    "ConnectedComponents",
+    "KHopReachability",
+    # results
+    "TraversalResult",
     "BFSResult",
+    "ParentTreeResult",
+    "ComponentsResult",
+    "ReachabilityResult",
+    "Campaign",
+    "run_campaign",
+    # options + hardware
+    "BFSOptions",
     "HardwareSpec",
     "NetworkModel",
+    # fluent facade
+    "session",
+    "Session",
+    "GraphSession",
+    "auto",
+    # validation
     "validate_distances",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

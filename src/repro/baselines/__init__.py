@@ -16,17 +16,23 @@
     row-reduction / column-broadcast communication pattern of Graph500 CPU
     entries; its ``√p`` communication growth is the main analytic comparison
     target of the paper's communication model.
+``union_find``
+    Serial connected components (disjoint-set forest) — the oracle for the
+    distributed min-label-propagation program.
 """
 
 from repro.baselines.bfs_1d import OneDBFS
 from repro.baselines.bfs_2d import TwoDBFS
 from repro.baselines.serial_bfs import serial_bfs, serial_bfs_edge_workload
 from repro.baselines.serial_dobfs import serial_dobfs
+from repro.baselines.union_find import serial_components, union_find_components
 
 __all__ = [
     "serial_bfs",
     "serial_bfs_edge_workload",
     "serial_dobfs",
+    "serial_components",
+    "union_find_components",
     "OneDBFS",
     "TwoDBFS",
 ]

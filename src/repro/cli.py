@@ -8,18 +8,25 @@ downstream user needs without writing Python:
     substitute) and save it as an ``.npz`` edge list.
 ``python -m repro.cli bfs``
     Partition a graph over a virtual cluster and run (DO)BFS from one or more
-    sources, printing traversal rates and the runtime breakdown.
+    sources — hop levels by default, Graph500-style parent trees with
+    ``--algorithm parents`` — printing traversal rates and the runtime
+    breakdown.
+``python -m repro.cli components``
+    Run distributed connected components (min-label propagation) over the
+    same engine and report the component structure.
 ``python -m repro.cli census``
     Print the Figure-5 style edge-category census for a sweep of degree
     thresholds, plus the suggested threshold for a given GPU count.
 
 All subcommands accept either ``--npz PATH`` (a previously generated graph) or
-``--scale N`` (generate an RMAT graph on the fly).
+``--scale N`` (generate an RMAT graph on the fly); ``bfs``, ``components``
+and ``census`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -32,7 +39,7 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Degree-separated distributed BFS on a simulated GPU cluster",
+        description="Degree-separated distributed graph traversal on a simulated GPU cluster",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -44,8 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     bfs = sub.add_parser("bfs", help="partition a graph and run (DO)BFS")
     _add_graph_args(bfs)
-    bfs.add_argument("--layout", default="4x1x2", help="nodes x ranks-per-node x gpus-per-rank")
-    bfs.add_argument("--threshold", type=int, default=None, help="degree threshold TH")
+    _add_cluster_args(bfs)
+    bfs.add_argument(
+        "--algorithm",
+        choices=["levels", "parents"],
+        default="levels",
+        help="output hop levels (the paper) or a Graph500-style parent tree",
+    )
     bfs.add_argument("--sources", type=int, default=5, help="number of random sources")
     bfs.add_argument("--source", type=int, default=None, help="explicit source vertex")
     bfs.add_argument("--no-direction-optimization", action="store_true")
@@ -53,10 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
     bfs.add_argument("--uniquify", action="store_true")
     bfs.add_argument("--nonblocking-reduce", action="store_true")
     bfs.add_argument("--validate", action="store_true", help="check against a serial oracle")
+    bfs.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    comp = sub.add_parser(
+        "components", help="distributed connected components (label propagation)"
+    )
+    _add_graph_args(comp)
+    _add_cluster_args(comp)
+    comp.add_argument("--validate", action="store_true", help="check against union-find")
+    comp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     census = sub.add_parser("census", help="edge-category census vs degree threshold")
     _add_graph_args(census)
     census.add_argument("--gpus", type=int, default=8, help="GPU count for the TH suggestion")
+    census.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     return parser
 
@@ -68,6 +90,11 @@ def _add_graph_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=11)
 
 
+def _add_cluster_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--layout", default="4x1x2", help="nodes x ranks-per-node x gpus-per-rank")
+    sub.add_argument("--threshold", type=int, default=None, help="degree threshold TH")
+
+
 def _load_graph(args: argparse.Namespace):
     from repro.graph.io import load_npz
     from repro.graph.rmat import generate_rmat
@@ -75,6 +102,29 @@ def _load_graph(args: argparse.Namespace):
     if getattr(args, "npz", None):
         return load_npz(args.npz)
     return generate_rmat(args.scale, rng=args.seed)
+
+
+def _partition(args: argparse.Namespace, edges):
+    """Shared partitioning step of the traversal subcommands."""
+    from repro.partition.delegates import suggest_threshold
+    from repro.partition.layout import ClusterLayout
+    from repro.partition.subgraphs import build_partitions
+
+    layout = ClusterLayout.from_notation(args.layout)
+    threshold = (
+        args.threshold if args.threshold is not None else suggest_threshold(edges, layout.num_gpus)
+    )
+    return build_partitions(edges, layout, threshold), layout, threshold
+
+
+def _graph_info(edges, layout, threshold, graph) -> dict:
+    return {
+        "vertices": int(edges.num_vertices),
+        "directed_edges": int(edges.num_edges),
+        "layout": layout.notation(),
+        "threshold": int(threshold),
+        "delegates": int(graph.num_delegates),
+    }
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -98,35 +148,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.baselines.serial_bfs import serial_bfs
-    from repro.core.engine import DistributedBFS
+    from repro.core.campaign import run_campaign
+    from repro.core.engine import TraversalEngine
     from repro.core.options import BFSOptions
+    from repro.core.programs import BFSLevels, BFSParents
     from repro.graph.csr import CSRGraph
     from repro.graph.degree import out_degrees
-    from repro.partition.delegates import suggest_threshold
-    from repro.partition.layout import ClusterLayout
-    from repro.partition.subgraphs import build_partitions
     from repro.utils.rng import random_sources
-    from repro.utils.stats import geometric_mean
-    from repro.validate.graph500 import validate_distances
+    from repro.validate.graph500 import validate_distances, validate_parent_tree
 
     edges = _load_graph(args)
-    layout = ClusterLayout.from_notation(args.layout)
-    threshold = (
-        args.threshold if args.threshold is not None else suggest_threshold(edges, layout.num_gpus)
-    )
-    graph = build_partitions(edges, layout, threshold)
+    graph, layout, threshold = _partition(args, edges)
     options = BFSOptions(
         direction_optimized=not args.no_direction_optimization,
         local_all2all=args.local_all2all or args.uniquify,
         uniquify=args.uniquify,
         blocking_reduce=not args.nonblocking_reduce,
     )
-    engine = DistributedBFS(graph, options=options)
-    print(
-        f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
-        f"cluster {layout.notation()} | TH={threshold} | "
-        f"delegates {graph.num_delegates:,} | options {options.label()}"
-    )
+    engine = TraversalEngine(graph, options=options)
+    if not args.json:
+        print(
+            f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+            f"cluster {layout.notation()} | TH={threshold} | "
+            f"delegates {graph.num_delegates:,} | options {options.label()} | "
+            f"algorithm {args.algorithm}"
+        )
 
     if args.source is not None:
         sources = np.asarray([args.source], dtype=np.int64)
@@ -134,28 +180,114 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         sources = random_sources(
             edges.num_vertices, args.sources, rng=args.seed + 1, degrees=out_degrees(edges)
         )
+
     oracle = CSRGraph.from_edgelist(edges) if args.validate else None
-    rates = []
-    for source in sources:
-        result = engine.run(int(source))
-        if oracle is not None:
-            reference = serial_bfs(oracle, int(source))
-            validate_distances(edges, int(source), result.distances, reference).raise_if_invalid()
+    if args.algorithm == "parents":
+        program_factory = lambda s: BFSParents(source=s)  # noqa: E731
+    else:
+        program_factory = lambda s: BFSLevels(source=s)  # noqa: E731
+
+    def validate(result) -> None:
+        if oracle is None:
+            return
+        reference = serial_bfs(oracle, result.source)
+        if args.algorithm == "parents":
+            report = validate_parent_tree(edges, result.source, result.parents, reference)
+        else:
+            report = validate_distances(edges, result.source, result.distances, reference)
+        report.raise_if_invalid()
+
+    def report_line(result) -> None:
+        if args.json:
+            return
         if not result.traversed_more_than_one_iteration():
-            print(f"  source {int(source)}: skipped (single-iteration run)")
-            continue
-        rates.append(result.gteps())
+            print(f"  source {result.source}: skipped (single-iteration run)")
+            return
         t = result.timing
         print(
-            f"  source {int(source):>9}: {result.num_visited:,} visited, "
+            f"  source {result.source:>9}: {result.num_visited:,} visited, "
             f"{result.iterations} iters, {t.elapsed_ms:.3f} ms, {result.gteps():.3f} GTEPS "
             f"[comp {t.computation:.3f} | local {t.local_communication:.3f} | "
             f"normal {t.remote_normal_exchange:.3f} | delegate {t.remote_delegate_reduce:.3f}]"
         )
-    if rates:
-        print(f"geometric mean: {geometric_mean(rates):.3f} GTEPS over {len(rates)} runs")
+
+    campaign = run_campaign(
+        engine, sources, program_factory=program_factory, validate=validate, on_result=report_line
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "options": options.label(),
+                    "algorithm": args.algorithm,
+                    "runs": [r.summary() for r in campaign],
+                    "campaign": campaign.summary(),
+                    "validated": bool(args.validate),
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    if campaign.reported:
+        print(
+            f"geometric mean: {campaign.geo_mean_gteps():.3f} GTEPS "
+            f"over {len(campaign.reported)} runs"
+        )
         if args.validate:
             print("all runs validated against the serial oracle")
+    return 0
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    from repro.baselines.union_find import serial_components
+    from repro.core.engine import TraversalEngine
+    from repro.core.programs import ConnectedComponents
+
+    edges = _load_graph(args)
+    graph, layout, threshold = _partition(args, edges)
+    engine = TraversalEngine(graph)
+    result = engine.run(ConnectedComponents())
+
+    validated = False
+    if args.validate:
+        reference = serial_components(edges)
+        if not np.array_equal(result.labels, reference):
+            mismatches = int(np.count_nonzero(result.labels != reference))
+            raise AssertionError(
+                f"component labels disagree with union-find on {mismatches} vertices"
+            )
+        validated = True
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "result": result.summary(),
+                    "validated": validated,
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(
+        f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+        f"cluster {layout.notation()} | TH={threshold} | delegates {graph.num_delegates:,}"
+    )
+    t = result.timing
+    print(
+        f"  components: {result.num_components:,} "
+        f"(largest {result.largest_component_size:,} vertices) in "
+        f"{result.iterations} iterations, modeled {t.elapsed_ms:.3f} ms "
+        f"[comp {t.computation:.3f} | local {t.local_communication:.3f} | "
+        f"normal {t.remote_normal_exchange:.3f} | delegate {t.remote_delegate_reduce:.3f}]"
+    )
+    if validated:
+        print("labels validated against serial union-find")
     return 0
 
 
@@ -169,14 +301,39 @@ def _cmd_census(args: argparse.Namespace) -> int:
 
     edges = _load_graph(args)
     max_degree = int(out_degrees(edges).max()) if edges.num_edges else 0
+    censuses = list(census_for_thresholds(edges, threshold_candidates(max_degree)))
+    suggestion = suggest_threshold(edges, args.gpus)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "rows": [
+                        {
+                            "threshold": int(c.threshold),
+                            "delegate_pct": c.delegate_percentage,
+                            "dd_pct": c.dd_percentage,
+                            "nd_dn_pct": c.nd_dn_percentage,
+                            "nn_pct": c.nn_percentage,
+                        }
+                        for c in censuses
+                    ],
+                    "gpus": args.gpus,
+                    "suggested_threshold": int(suggestion),
+                },
+                indent=2,
+            )
+        )
+        return 0
+
     print(f"{'TH':>10} {'delegates%':>11} {'dd%':>8} {'nd+dn%':>8} {'nn%':>8}")
-    for census in census_for_thresholds(edges, threshold_candidates(max_degree)):
+    for census in censuses:
         print(
             f"{census.threshold:>10} {census.delegate_percentage:>11.2f} "
             f"{census.dd_percentage:>8.2f} {census.nd_dn_percentage:>8.2f} "
             f"{census.nn_percentage:>8.2f}"
         )
-    print(f"suggested threshold for {args.gpus} GPUs: {suggest_threshold(edges, args.gpus)}")
+    print(f"suggested threshold for {args.gpus} GPUs: {suggestion}")
     return 0
 
 
@@ -187,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "bfs":
         return _cmd_bfs(args)
+    if args.command == "components":
+        return _cmd_components(args)
     if args.command == "census":
         return _cmd_census(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -21,7 +21,13 @@ nodes.  This package provides the stand-in for that machine:
     communication volume and modeled time per phase.
 """
 
-from repro.cluster.comm import CommStats, Communicator, ExchangeResult, ReduceResult
+from repro.cluster.comm import (
+    CommStats,
+    Communicator,
+    ExchangeResult,
+    ReduceResult,
+    ValueReduceResult,
+)
 from repro.cluster.hardware import HardwareSpec
 from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
@@ -34,4 +40,5 @@ __all__ = [
     "CommStats",
     "ExchangeResult",
     "ReduceResult",
+    "ValueReduceResult",
 ]

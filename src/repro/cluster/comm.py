@@ -33,7 +33,13 @@ from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.utils.bitmask import Bitmask
 
-__all__ = ["CommStats", "ExchangeResult", "ReduceResult", "Communicator"]
+__all__ = [
+    "CommStats",
+    "ExchangeResult",
+    "ReduceResult",
+    "ValueReduceResult",
+    "Communicator",
+]
 
 
 @dataclass
@@ -47,10 +53,21 @@ class CommStats:
     normal_messages: int = 0
     delegate_mask_bytes: int = 0
     delegate_reductions: int = 0
+    #: Bytes of per-delegate *value* reductions (programs whose delegate
+    #: updates carry a payload — parent ids, component labels — instead of
+    #: the 1-bit visited masks plain BFS needs).
+    delegate_value_bytes: int = 0
+    #: Extra bytes the normal-vertex exchange spent on per-vertex payloads.
+    normal_payload_bytes: int = 0
 
     def total_bytes(self) -> int:
         """All bytes that crossed a link (local or remote)."""
-        return self.normal_bytes_remote + self.normal_bytes_local + self.delegate_mask_bytes
+        return (
+            self.normal_bytes_remote
+            + self.normal_bytes_local
+            + self.delegate_mask_bytes
+            + self.delegate_value_bytes
+        )
 
     def as_dict(self) -> dict:
         """Flat dictionary for reporting."""
@@ -62,6 +79,8 @@ class CommStats:
             "normal_messages": self.normal_messages,
             "delegate_mask_bytes": self.delegate_mask_bytes,
             "delegate_reductions": self.delegate_reductions,
+            "delegate_value_bytes": self.delegate_value_bytes,
+            "normal_payload_bytes": self.normal_payload_bytes,
         }
 
 
@@ -82,6 +101,10 @@ class ExchangeResult:
     remote_bytes: int
     #: Bytes moved over intra-rank (NVLink) links by the local all2all.
     local_bytes: int
+    #: Per destination GPU, the int64 payload value travelling with each
+    #: received slot id (parallel to ``inboxes``); ``None`` when the exchange
+    #: carried bare vertex ids, as plain BFS does.
+    payload_inboxes: list | None = None
 
 
 @dataclass
@@ -90,6 +113,20 @@ class ReduceResult:
 
     #: The OR of all input masks (shared by every GPU afterwards).
     merged: Bitmask
+    #: Modeled time of the intra-rank push-to-GPU0 + broadcast phases.
+    local_time_s: float
+    #: Modeled time of the inter-rank (I)AllReduce phase.
+    global_time_s: float
+    #: Bytes exchanged between ranks.
+    global_bytes: int
+
+
+@dataclass
+class ValueReduceResult:
+    """Outcome of one delegate-value reduction."""
+
+    #: Element-wise combine of all input arrays (shared by every GPU).
+    merged: np.ndarray
     #: Modeled time of the intra-rank push-to-GPU0 + broadcast phases.
     local_time_s: float
     #: Modeled time of the inter-rank (I)AllReduce phase.
@@ -160,6 +197,67 @@ class Communicator:
             global_bytes=global_bytes,
         )
 
+    def allreduce_delegate_values(
+        self,
+        values: list[np.ndarray],
+        combine=np.minimum,
+        blocking: bool = True,
+    ) -> "ValueReduceResult":
+        """Two-phase element-wise reduction of per-GPU delegate value arrays.
+
+        The movement pattern is identical to :meth:`allreduce_delegate_masks`
+        (intra-rank push to GPU0, inter-rank tree (I)AllReduce, broadcast
+        back), but each delegate carries a 64-bit value instead of one bit —
+        the channel frontier programs with per-vertex payloads (parent
+        pointers, component labels) use, at 64x the mask volume.
+
+        Parameters
+        ----------
+        values:
+            One int64 array per GPU, all of size ``d``; positions a GPU did
+            not update hold the combine identity (e.g. ``+inf``-like sentinel
+            for ``np.minimum``).
+        combine:
+            Binary ufunc merging two value arrays element-wise.
+        blocking:
+            Same meaning as for the mask reduction.
+        """
+        layout = self.topology.layout
+        if len(values) != layout.num_gpus:
+            raise ValueError(
+                f"expected {layout.num_gpus} value arrays (one per GPU), got {len(values)}"
+            )
+        if not values:
+            raise ValueError("cannot reduce zero value arrays")
+        size = values[0].size
+        merged = np.array(values[0], dtype=np.int64, copy=True)
+        for arr in values[1:]:
+            if arr.size != size:
+                raise ValueError("all delegate value arrays must have the same size")
+            merged = combine(merged, arr)
+
+        nbytes = merged.nbytes
+        local_time = 0.0
+        if layout.gpus_per_rank > 1:
+            local_time = self.netmodel.local_reduce_time(
+                nbytes, layout.gpus_per_rank
+            ) + self.netmodel.local_broadcast_time(nbytes, layout.gpus_per_rank)
+        global_time = self.netmodel.global_allreduce_time(
+            nbytes, layout.num_ranks, blocking=blocking
+        )
+        global_bytes = 0
+        if layout.num_ranks > 1:
+            global_bytes = 2 * nbytes * layout.num_ranks
+
+        self.stats.delegate_value_bytes += global_bytes
+        self.stats.delegate_reductions += 1
+        return ValueReduceResult(
+            merged=merged,
+            local_time_s=local_time,
+            global_time_s=global_time,
+            global_bytes=global_bytes,
+        )
+
     # ------------------------------------------------------------------ #
     # Normal-vertex exchange
     # ------------------------------------------------------------------ #
@@ -168,6 +266,9 @@ class Communicator:
         outboxes: list[np.ndarray],
         local_all2all: bool = False,
         uniquify: bool = False,
+        payloads: list[np.ndarray] | None = None,
+        payload_combine=np.minimum,
+        payload_identity: int | np.int64 | None = None,
     ) -> ExchangeResult:
         """Route newly-visited normal-vertex updates to their owner GPUs.
 
@@ -183,90 +284,160 @@ class Communicator:
             option; only effective together with ``local_all2all``, matching
             the paper's pipeline where uniquify runs after the local
             exchange).
+        payloads:
+            Optional int64 value per outbox entry (parallel arrays).  Frontier
+            programs whose vertex state is a payload (parent pointers,
+            component labels) ship it over this channel; plain BFS leaves it
+            ``None`` and pays only the paper's ``4|Enn|`` volume.
+        payload_combine:
+            Binary ufunc used to merge the payloads of duplicate destinations
+            when ``uniquify`` is on (e.g. ``np.minimum`` for parent/label
+            programs).
+        payload_identity:
+            Neutral element of ``payload_combine`` (defaults to the
+            ``np.minimum`` identity, ``INT64_MAX``); pass the program's
+            ``combine_identity`` when using a different combine.
 
         Returns
         -------
         ExchangeResult
-            Per-destination-GPU arrays of local slot ids plus modeled times.
+            Per-destination-GPU arrays of local slot ids plus modeled times;
+            ``payload_inboxes`` carries the received values when ``payloads``
+            was given.
         """
         layout = self.topology.layout
         p = layout.num_gpus
         if len(outboxes) != p:
             raise ValueError(f"expected {p} outboxes, got {len(outboxes)}")
+        has_payload = payloads is not None
+        if has_payload and len(payloads) != p:
+            raise ValueError(f"expected {p} payload arrays, got {len(payloads)}")
+        if payload_identity is None:
+            payload_identity = np.iinfo(np.int64).max
 
         pgpu = layout.gpus_per_rank
+        empty_payload = np.zeros(0, dtype=np.int64)
         # Phase 1: per source GPU, bin by destination owner and convert the
         # 64-bit global ids to 32-bit local slots.  Charged as filter work.
         binned: list[list[np.ndarray]] = []
+        binned_payloads: list[list[np.ndarray]] = []
         per_gpu_filter_time = np.zeros(p, dtype=np.float64)
         for src_gpu, out in enumerate(outboxes):
             out = np.asarray(out, dtype=np.int64).ravel()
+            if has_payload:
+                payload = np.asarray(payloads[src_gpu], dtype=np.int64).ravel()
+                if payload.size != out.size:
+                    raise ValueError(
+                        f"payload of GPU {src_gpu} has {payload.size} entries, "
+                        f"expected {out.size}"
+                    )
             per_gpu_filter_time[src_gpu] += self.netmodel.filter_time(out.size)
             dest_owner = layout.flat_gpu_of(out)
             local_slot = layout.local_index_of(out)
             buckets: list[np.ndarray] = []
+            pbuckets: list[np.ndarray] = []
             for dst_gpu in range(p):
                 sel = dest_owner == dst_gpu
                 buckets.append(local_slot[sel].astype(np.int32))
+                if has_payload:
+                    pbuckets.append(payload[sel])
             binned.append(buckets)
+            binned_payloads.append(pbuckets)
 
         local_bytes = 0
+        staging_payload_bytes = 0
         local_phase_time = np.zeros(p, dtype=np.float64)
+
+        def chunk_nbytes(chunk: np.ndarray, pchunk: np.ndarray | None) -> int:
+            return chunk.nbytes + (pchunk.nbytes if pchunk is not None else 0)
 
         if local_all2all and pgpu > 1:
             # Phase 2: within each rank, gather traffic destined for
             # within-rank index j (of any rank) onto the local GPU with index j.
-            regrouped: list[list[np.ndarray]] = [[] for _ in range(p)]
+            regrouped: list[list[tuple]] = [[] for _ in range(p)]
             for src_gpu in range(p):
                 src_rank = src_gpu // pgpu
                 for dst_gpu in range(p):
                     chunk = binned[src_gpu][dst_gpu]
                     if chunk.size == 0:
                         continue
+                    pchunk = binned_payloads[src_gpu][dst_gpu] if has_payload else None
                     staging_gpu = src_rank * pgpu + (dst_gpu % pgpu)
                     if staging_gpu != src_gpu:
-                        nbytes = chunk.nbytes
+                        nbytes = chunk_nbytes(chunk, pchunk)
                         local_bytes += nbytes
+                        if pchunk is not None:
+                            staging_payload_bytes += pchunk.nbytes
                         t = self.netmodel.intra_node_time(nbytes)
                         local_phase_time[src_gpu] += t
-                    regrouped[staging_gpu].append((dst_gpu, chunk))
+                    regrouped[staging_gpu].append((dst_gpu, chunk, pchunk))
             # Phase 3 (optional): uniquify per destination on the staging GPU.
             staged: list[list[np.ndarray]] = []
+            staged_payloads: list[list[np.ndarray]] = []
             for staging_gpu in range(p):
                 buckets = [np.zeros(0, dtype=np.int32) for _ in range(p)]
+                pbuckets = [empty_payload for _ in range(p)]
                 groups: dict[int, list[np.ndarray]] = {}
-                for dst_gpu, chunk in regrouped[staging_gpu]:
+                pgroups: dict[int, list[np.ndarray]] = {}
+                for dst_gpu, chunk, pchunk in regrouped[staging_gpu]:
                     groups.setdefault(dst_gpu, []).append(chunk)
+                    if has_payload:
+                        pgroups.setdefault(dst_gpu, []).append(pchunk)
                 for dst_gpu, chunks in groups.items():
                     merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                    if has_payload:
+                        pchunks = pgroups[dst_gpu]
+                        pmerged = np.concatenate(pchunks) if len(pchunks) > 1 else pchunks[0]
+                    else:
+                        pmerged = None
                     if uniquify and merged.size:
                         before = merged.size
-                        merged = np.unique(merged)
+                        if has_payload:
+                            # Duplicate destinations keep the combined payload
+                            # (e.g. the smallest parent id / label).
+                            unique, inverse = np.unique(merged, return_inverse=True)
+                            preduced = np.full(
+                                unique.size, payload_identity, dtype=np.int64
+                            )
+                            payload_combine.at(preduced, inverse, pmerged)
+                            merged, pmerged = unique, preduced
+                        else:
+                            merged = np.unique(merged)
                         removed = before - merged.size
                         self.stats.normal_vertices_deduplicated += int(removed)
                         local_phase_time[staging_gpu] += self.netmodel.filter_time(before)
                     buckets[dst_gpu] = merged
+                    if has_payload:
+                        pbuckets[dst_gpu] = pmerged
                 staged.append(buckets)
+                staged_payloads.append(pbuckets)
             send_plan = staged
+            payload_plan = staged_payloads
         else:
             send_plan = binned
+            payload_plan = binned_payloads
 
         # Phase 4: the remote exchange.  Each source GPU sends its buckets
         # point-to-point; sends from one GPU are serialised, different GPUs
         # proceed in parallel, so the modeled remote time is the maximum over
         # source GPUs of their serial send time.
         inbox_parts: list[list[np.ndarray]] = [[] for _ in range(p)]
+        payload_parts: list[list[np.ndarray]] = [[] for _ in range(p)]
         per_gpu_send_time = np.zeros(p, dtype=np.float64)
         remote_bytes = 0
+        payload_bytes = 0
         for src_gpu in range(p):
             for dst_gpu in range(p):
                 chunk = send_plan[src_gpu][dst_gpu]
                 if chunk.size == 0:
                     continue
+                pchunk = payload_plan[src_gpu][dst_gpu] if has_payload else None
                 if dst_gpu == src_gpu:
                     inbox_parts[dst_gpu].append(chunk)
+                    if has_payload:
+                        payload_parts[dst_gpu].append(pchunk)
                     continue
-                nbytes = chunk.nbytes
+                nbytes = chunk_nbytes(chunk, pchunk)
                 same_rank = bool(self.topology.same_rank(src_gpu, dst_gpu))
                 t = self.netmodel.p2p_time(nbytes, same_rank)
                 per_gpu_send_time[src_gpu] += t
@@ -274,16 +445,27 @@ class Communicator:
                     local_bytes += nbytes
                 else:
                     remote_bytes += nbytes
+                if has_payload:
+                    payload_bytes += pchunk.nbytes
                 self.stats.normal_messages += 1
                 self.stats.normal_vertices_sent += int(chunk.size)
                 inbox_parts[dst_gpu].append(chunk)
+                if has_payload:
+                    payload_parts[dst_gpu].append(pchunk)
 
         inboxes = [
             np.concatenate(parts).astype(np.int64) if parts else np.zeros(0, dtype=np.int64)
             for parts in inbox_parts
         ]
+        payload_inboxes = None
+        if has_payload:
+            payload_inboxes = [
+                np.concatenate(parts) if parts else empty_payload
+                for parts in payload_parts
+            ]
         self.stats.normal_bytes_remote += remote_bytes
         self.stats.normal_bytes_local += local_bytes
+        self.stats.normal_payload_bytes += payload_bytes + staging_payload_bytes
 
         local_time = float((per_gpu_filter_time + local_phase_time).max()) if p else 0.0
         remote_time = float(per_gpu_send_time.max()) if p else 0.0
@@ -293,4 +475,5 @@ class Communicator:
             remote_time_s=remote_time,
             remote_bytes=remote_bytes,
             local_bytes=local_bytes,
+            payload_inboxes=payload_inboxes,
         )

@@ -1,9 +1,12 @@
-"""Core distributed (DO)BFS engine — the paper's primary contribution.
+"""Core distributed traversal engine — the paper's primary contribution,
+generalized into an algorithm-agnostic machine.
 
-The public entry point is :class:`repro.core.engine.DistributedBFS`, which
-traverses a :class:`repro.partition.PartitionedGraph` on the simulated cluster
-and returns a :class:`repro.core.results.BFSResult` carrying exact hop
-distances, workload/communication counters and the modeled runtime breakdown.
+The public entry points are :class:`repro.core.engine.TraversalEngine`, which
+executes any :class:`repro.core.programs.FrontierProgram` over a
+:class:`repro.partition.PartitionedGraph` on the simulated cluster, and the
+seed-compatible :class:`repro.core.engine.DistributedBFS` wrapper, which runs
+the paper's BFS (the :class:`repro.core.programs.BFSLevels` program) with
+identical answers and modeled timings.
 
 Modules
 -------
@@ -18,23 +21,57 @@ Modules
     Per-subgraph direction-optimization state: forward/backward workload
     estimates (FV / BV) and the factor-based switching rule of §IV-B.
 ``state``
-    Per-GPU and replicated BFS state (normal levels, delegate levels, masks,
-    frontiers).
+    Per-GPU and replicated traversal state (normal values, delegate values,
+    masks, frontiers); :class:`BFSState` keeps the level-array vocabulary.
+``programs``
+    The frontier-program protocol and the shipped algorithms: BFS levels,
+    Graph500 parent trees, connected components, k-hop reachability.
 ``results``
-    :class:`BFSResult` and per-iteration records.
+    The :class:`TraversalResult` hierarchy (per-algorithm answers over shared
+    counters and timing) and per-iteration records.
+``campaign``
+    :class:`Campaign` — the paper's many-sources reporting protocol
+    (geometric means, single-iteration skips) as an aggregating sequence.
 ``engine``
-    :class:`DistributedBFS` — the super-step orchestrator combining local
+    :class:`TraversalEngine` — the super-step orchestrator combining local
     computation (Fig. 3) and the communication model (Fig. 4).
 """
 
-from repro.core.engine import DistributedBFS
+from repro.core.campaign import Campaign, run_campaign
+from repro.core.engine import DistributedBFS, TraversalEngine
 from repro.core.options import BFSOptions, DirectionFactors
-from repro.core.results import BFSResult, IterationRecord
+from repro.core.programs import (
+    BFSLevels,
+    BFSParents,
+    ConnectedComponents,
+    FrontierProgram,
+    KHopReachability,
+)
+from repro.core.results import (
+    BFSResult,
+    ComponentsResult,
+    IterationRecord,
+    ParentTreeResult,
+    ReachabilityResult,
+    TraversalResult,
+)
 
 __all__ = [
+    "TraversalEngine",
     "DistributedBFS",
+    "FrontierProgram",
+    "BFSLevels",
+    "BFSParents",
+    "ConnectedComponents",
+    "KHopReachability",
     "BFSOptions",
     "DirectionFactors",
+    "TraversalResult",
     "BFSResult",
+    "ParentTreeResult",
+    "ComponentsResult",
+    "ReachabilityResult",
     "IterationRecord",
+    "Campaign",
+    "run_campaign",
 ]

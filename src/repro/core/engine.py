@@ -1,7 +1,8 @@
-"""The distributed (DO)BFS engine (paper §IV and §V, Figures 3 and 4).
+"""The distributed traversal engine (paper §IV and §V, Figures 3 and 4).
 
-:class:`DistributedBFS` executes level-synchronous BFS super-steps over a
-degree-separated :class:`repro.partition.PartitionedGraph`:
+:class:`TraversalEngine` executes level-synchronous super-steps of any
+:class:`repro.core.programs.FrontierProgram` over a degree-separated
+:class:`repro.partition.PartitionedGraph`:
 
 1. **Local computation** on every virtual GPU (Fig. 3): previsit kernels
    filter the input frontiers and compute forward workloads; then one visit
@@ -10,21 +11,30 @@ degree-separated :class:`repro.partition.PartitionedGraph`:
 
    * nn (normal→normal): always forward; its discoveries are *remote* normal
      updates that enter the exchange stage,
-   * nd (normal→delegate): forward pushes set delegate-mask bits, backward
+   * nd (normal→delegate): forward pushes propose delegate updates, backward
      pulls let unvisited delegates search their local normal parents,
    * dn (delegate→normal): forward pushes mark local normal vertices,
      backward pulls let unvisited local normals search their delegate parents,
-   * dd (delegate→delegate): both directions stay within the delegate masks.
+   * dd (delegate→delegate): both directions stay within the delegates.
 
 2. **Communication** (Fig. 4): the nn outputs are binned, converted to 32-bit
    local ids and exchanged point-to-point (optionally with local-all2all and
-   uniquify); delegate-mask updates are OR-reduced in two phases (NVLink
-   within a rank, tree-like (I)AllReduce between ranks) whenever any GPU
-   produced an update.
+   uniquify, and with an 8-byte value payload when the program needs one);
+   delegate updates are reduced in two phases (NVLink within a rank,
+   tree-like (I)AllReduce between ranks) whenever any GPU produced an update
+   — as 1-bit visited masks for BFS-style programs, or as 64-bit values for
+   programs whose vertex state carries a payload.
 
-The engine produces exact hop distances and a modeled runtime breakdown in the
-paper's four phases; computation/communication overlap is accounted with a
-configurable efficiency as described in §VI-B.
+What a discovered vertex *means* — the value it stores, when an update is
+accepted, how duplicate proposals merge — is the program's business; the
+engine only moves frontiers, runs kernels and accounts modeled time in the
+paper's four phases (computation/communication overlap is modeled with a
+configurable efficiency as described in §VI-B).
+
+:class:`DistributedBFS` remains as the seed's entry point: a thin wrapper
+running :class:`repro.core.programs.BFSLevels` through the generic engine
+with behaviour (answers, iteration counts, modeled timings) identical to the
+original hardwired implementation.
 """
 
 from __future__ import annotations
@@ -36,19 +46,465 @@ from repro.cluster.hardware import HardwareSpec
 from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.core.direction import DirectionState, estimate_backward_workload
-from repro.core.kernels import backward_visit, filter_frontier, forward_visit
+from repro.core.kernels import KernelOutput, backward_visit, filter_frontier, forward_visit
 from repro.core.options import BFSOptions
-from repro.core.results import BFSResult, IterationRecord
-from repro.core.state import UNVISITED, BFSState
+from repro.core.programs.base import FrontierProgram, VisitContext
+from repro.core.programs.bfs_levels import BFSLevels
+from repro.core.results import BFSResult, IterationRecord, TraversalResult
+from repro.core.state import UNVISITED, TraversalState
 from repro.partition.subgraphs import PartitionedGraph
 from repro.utils.bitmask import Bitmask
 from repro.utils.timing import TimingBreakdown
 
-__all__ = ["DistributedBFS"]
+__all__ = ["TraversalEngine", "DistributedBFS"]
+
+
+class TraversalEngine:
+    """Algorithm-agnostic traversal over a degree-separated partitioning.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph produced by
+        :func:`repro.partition.build_partitions`.
+    options:
+        Runtime options (direction optimization, exchange optimizations,
+        reduction flavour, switching factors).
+    hardware:
+        Machine parameters for the performance model; defaults to the paper's
+        Ray system.
+
+    Examples
+    --------
+    >>> from repro.core.programs import BFSLevels, ConnectedComponents
+    >>> from repro.graph import generate_rmat
+    >>> from repro.partition import ClusterLayout, build_partitions
+    >>> edges = generate_rmat(10, rng=7)
+    >>> layout = ClusterLayout(num_ranks=2, gpus_per_rank=2)
+    >>> graph = build_partitions(edges, layout, threshold=32)
+    >>> engine = TraversalEngine(graph)
+    >>> int(engine.run(BFSLevels(source=0)).distances[0])
+    0
+    >>> engine.run(ConnectedComponents()).num_components >= 1
+    True
+    """
+
+    def __init__(
+        self,
+        graph: PartitionedGraph,
+        options: BFSOptions | None = None,
+        hardware: HardwareSpec | None = None,
+    ) -> None:
+        self.graph = graph
+        self.options = options if options is not None else BFSOptions()
+        self.hardware = hardware if hardware is not None else HardwareSpec()
+        self.netmodel = NetworkModel(self.hardware)
+        self.topology = ClusterTopology(graph.layout)
+        # Cache per-GPU out-degree arrays of every subgraph; they are needed
+        # for previsit filtering and forward-workload computation each
+        # super-step and never change.
+        self._degrees = [
+            {
+                "nn": gpu.nn.out_degrees(),
+                "nd": gpu.nd.out_degrees(),
+                "dn": gpu.dn.out_degrees(),
+                "dd": gpu.dd.out_degrees(),
+            }
+            for gpu in graph.gpus
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, program: FrontierProgram) -> TraversalResult:
+        """Run ``program`` to completion and return its result."""
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+
+        init = program.init_state(graph)
+        state = TraversalState(
+            graph=graph,
+            normal_values=init.normal_values,
+            delegate_values=init.delegate_values,
+            delegate_visited=Bitmask.from_indices(
+                graph.num_delegates,
+                np.flatnonzero(init.delegate_values != UNVISITED),
+            )
+            if graph.num_delegates
+            else Bitmask(0),
+            normal_frontiers=init.normal_frontiers,
+            delegate_frontier=init.delegate_frontier,
+        )
+        communicator = Communicator(self.topology, self.netmodel)
+        do_enabled = opts.direction_optimized and program.direction_optimized_ok
+        dir_states = {
+            "nd": [DirectionState(opts.nd_factors, enabled=do_enabled) for _ in range(p)],
+            "dn": [DirectionState(opts.dn_factors, enabled=do_enabled) for _ in range(p)],
+            "dd": [DirectionState(opts.dd_factors, enabled=do_enabled) for _ in range(p)],
+        }
+
+        records: list[IterationRecord] = []
+        timing = TimingBreakdown()
+        total_edges = 0
+        level = 0
+
+        while not state.frontier_empty():
+            if program.max_levels is not None and level >= program.max_levels:
+                break
+            level += 1
+            if level > opts.max_iterations:
+                raise RuntimeError(
+                    f"{program.name} exceeded max_iterations={opts.max_iterations}; "
+                    "the graph or the engine state is inconsistent"
+                )
+            record = self._super_step(program, state, communicator, dir_states, level)
+            records.append(record)
+            total_edges += record.total_edges_examined()
+            timing.computation += record.computation_s * 1e3
+            timing.local_communication += record.local_communication_s * 1e3
+            timing.remote_normal_exchange += record.remote_normal_exchange_s * 1e3
+            timing.remote_delegate_reduce += record.remote_delegate_reduce_s * 1e3
+            timing.elapsed_ms += record.elapsed_s * 1e3
+            timing.per_iteration.append(record)
+
+        timing.iterations = len(records)
+        base = {
+            "iterations": len(records),
+            "records": records,
+            "timing": timing,
+            "comm_stats": communicator.stats,
+            "total_edges_examined": total_edges,
+            "num_directed_edges": graph.num_directed_edges,
+        }
+        return program.make_result(state.gather_values(), base)
+
+    def run_many(self, programs) -> "Campaign":
+        """Run several programs and aggregate their results into a Campaign."""
+        from repro.core.campaign import Campaign
+
+        return Campaign.from_results([self.run(prog) for prog in programs])
+
+    # ------------------------------------------------------------------ #
+    # One super-step
+    # ------------------------------------------------------------------ #
+    def _super_step(
+        self,
+        program: FrontierProgram,
+        state: TraversalState,
+        communicator: Communicator,
+        dir_states: dict[str, list[DirectionState]],
+        level: int,
+    ) -> IterationRecord:
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+        d = graph.num_delegates
+        # The backward-pull candidate sets only exist for visit-once programs;
+        # the options-level DO toggle is handled by the DirectionState objects
+        # (disabled states always decide forward), matching the seed engine.
+        pull_ok = program.direction_optimized_ok
+        needs_sources = program.payload_exchange or program.delegate_channel == "values"
+        mask_channel = program.delegate_channel == "mask"
+
+        frontier_d = state.delegate_frontier
+        delegate_frontier_flags = np.zeros(d, dtype=bool)
+        if frontier_d.size:
+            delegate_frontier_flags[frontier_d] = True
+        if pull_ok:
+            unvisited_delegates = state.unvisited_delegates() if d else np.zeros(0, dtype=np.int64)
+        else:
+            unvisited_delegates = np.zeros(0, dtype=np.int64)
+
+        nn_outboxes: list[np.ndarray] = []
+        nn_payloads: list[np.ndarray] = []
+        out_masks: list[Bitmask] = []
+        delegate_proposals: list[np.ndarray] = []
+        delegate_proposals_any = False
+        fresh_from_dn: list[np.ndarray] = []
+        per_gpu_comp = np.zeros(p, dtype=np.float64)
+        edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
+        directions = {"nd": 0, "dn": 0, "dd": 0}
+
+        normal_frontier_total = int(sum(f.size for f in state.normal_frontiers))
+
+        def source_info(g: int, kernel: str, out: KernelOutput):
+            """Global ids and program values of a kernel's discovering sources."""
+            src = out.sources
+            if kernel in ("nn", "nd"):
+                # nn/nd edges originate at local normal vertices; forward rows
+                # and backward-pull hit parents are both local slots.
+                ids = graph.gpus[g].global_ids_of_locals(src)
+                vals = state.normal_values[g][src]
+            else:
+                # dn/dd edges originate at delegates in both directions.
+                ids = graph.delegate_vertices[src]
+                vals = state.delegate_values[src]
+            return np.asarray(ids, dtype=np.int64), np.asarray(vals, dtype=np.int64)
+
+        def delegate_update(g: int, kernel: str, out: KernelOutput, out_mask: Bitmask):
+            """Fold a kernel's delegate discoveries into the g-th GPU's update.
+
+            Mask channel: the seed behaviour — deduplicate, drop delegates
+            whose replicated status is already visited (a free local filter),
+            set bits.  Values channel: propose program values, keep only
+            proposals the (replicated) current values would accept, and
+            combine them into the dense per-GPU proposal array.
+            """
+            nonlocal delegate_proposals_any
+            if out.discovered.size == 0:
+                return
+            if mask_channel:
+                found = np.unique(out.discovered)
+                # Drop delegates that are already visited (their status is
+                # replicated, so this local filter needs no communication
+                # and avoids pointless mask reductions).
+                found = found[~state.delegate_visited.test_many(found)]
+                if found.size:
+                    out_mask.set_many(found)
+                return
+            ids = np.asarray(out.discovered, dtype=np.int64)
+            src_ids, src_vals = source_info(g, kernel, out)
+            vals = program.visit_value(
+                VisitContext(
+                    kernel=kernel,
+                    gpu=g,
+                    level=level,
+                    backward=out.backward,
+                    discovered=ids,
+                    source_ids=src_ids,
+                    source_values=src_vals,
+                )
+            )
+            keep = program.accept(state.delegate_values[ids], vals)
+            ids, vals = ids[keep], vals[keep]
+            if ids.size:
+                program.combine.at(delegate_proposals[g], ids, vals)
+                delegate_proposals_any = True
+
+        for g in range(p):
+            part = graph.gpus[g]
+            deg = self._degrees[g]
+            frontier_n = state.normal_frontiers[g]
+            comp = self.netmodel.iteration_overhead()
+            comp += self.netmodel.filter_time(2 * frontier_n.size + 2 * frontier_d.size)
+
+            out_mask = Bitmask(d)
+            if not mask_channel:
+                delegate_proposals.append(
+                    np.full(d, program.combine_identity, dtype=np.int64)
+                )
+
+            # ---- nn visit: always forward -------------------------------- #
+            queue_nn = filter_frontier(frontier_n, deg["nn"])
+            out_nn = forward_visit(part.nn, queue_nn)
+            comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
+            edges_examined["nn"] += out_nn.edges_examined
+            nn_outboxes.append(out_nn.discovered)
+            if program.payload_exchange:
+                src_ids, src_vals = source_info(g, "nn", out_nn)
+                nn_payloads.append(
+                    program.visit_value(
+                        VisitContext(
+                            kernel="nn",
+                            gpu=g,
+                            level=level,
+                            backward=False,
+                            discovered=out_nn.discovered,
+                            source_ids=src_ids,
+                            source_values=src_vals,
+                        )
+                    )
+                )
+
+            # ---- shared backward candidate sets --------------------------- #
+            if d and pull_ok:
+                cand_nd = unvisited_delegates[part.dn_source_mask[unvisited_delegates]]
+                cand_dd = unvisited_delegates[part.dd_source_mask[unvisited_delegates]]
+            else:
+                cand_nd = np.zeros(0, dtype=np.int64)
+                cand_dd = np.zeros(0, dtype=np.int64)
+            if pull_ok and part.nd_source_list.size:
+                nd_src_values = state.normal_values[g][part.nd_source_list]
+                cand_dn = part.nd_source_list[nd_src_values == UNVISITED]
+            else:
+                cand_dn = np.zeros(0, dtype=np.int64)
+
+            normal_frontier_flags = None
+
+            # ---- nd visit (destinations are delegates) -------------------- #
+            if d:
+                queue_nd = filter_frontier(frontier_n, deg["nd"])
+                fv_nd = int(deg["nd"][queue_nd].sum()) if queue_nd.size else 0
+                bv_nd = estimate_backward_workload(cand_nd.size, q=int(frontier_n.size), s=int(cand_dn.size))
+                backward = dir_states["nd"][g].decide(fv_nd, bv_nd)
+                if backward:
+                    if normal_frontier_flags is None:
+                        normal_frontier_flags = np.zeros(part.num_local, dtype=bool)
+                        if frontier_n.size:
+                            normal_frontier_flags[frontier_n] = True
+                    out_nd = backward_visit(part.dn, cand_nd, normal_frontier_flags)
+                    directions["nd"] += 1
+                else:
+                    out_nd = forward_visit(part.nd, queue_nd)
+                comp += self.netmodel.traversal_time(out_nd.edges_examined, backward=backward)
+                edges_examined["nd"] += out_nd.edges_examined
+                delegate_update(g, "nd", out_nd, out_mask)
+
+            # ---- dn visit (destinations are local normal vertices) -------- #
+            newly_local = np.zeros(0, dtype=np.int64)
+            newly_local_values = np.zeros(0, dtype=np.int64)
+            if d and part.num_local:
+                queue_dn = filter_frontier(frontier_d, deg["dn"])
+                fv_dn = int(deg["dn"][queue_dn].sum()) if queue_dn.size else 0
+                bv_dn = estimate_backward_workload(cand_dn.size, q=int(frontier_d.size), s=int(cand_nd.size))
+                backward = dir_states["dn"][g].decide(fv_dn, bv_dn)
+                if backward:
+                    out_dn = backward_visit(part.nd, cand_dn, delegate_frontier_flags)
+                    directions["dn"] += 1
+                else:
+                    out_dn = forward_visit(part.dn, queue_dn)
+                comp += self.netmodel.traversal_time(out_dn.edges_examined, backward=backward)
+                edges_examined["dn"] += out_dn.edges_examined
+                newly_local = out_dn.discovered
+                if newly_local.size:
+                    src_ids = src_vals = None
+                    if needs_sources:
+                        src_ids, src_vals = source_info(g, "dn", out_dn)
+                    newly_local_values = program.visit_value(
+                        VisitContext(
+                            kernel="dn",
+                            gpu=g,
+                            level=level,
+                            backward=out_dn.backward,
+                            discovered=newly_local,
+                            source_ids=src_ids,
+                            source_values=src_vals,
+                        )
+                    )
+
+            # ---- dd visit (delegates to delegates) ------------------------ #
+            if d:
+                queue_dd = filter_frontier(frontier_d, deg["dd"])
+                fv_dd = int(deg["dd"][queue_dd].sum()) if queue_dd.size else 0
+                bv_dd = estimate_backward_workload(cand_dd.size, q=int(frontier_d.size), s=int(cand_dd.size))
+                backward = dir_states["dd"][g].decide(fv_dd, bv_dd)
+                if backward:
+                    out_dd = backward_visit(part.dd, cand_dd, delegate_frontier_flags)
+                    directions["dd"] += 1
+                else:
+                    out_dd = forward_visit(part.dd, queue_dd)
+                comp += self.netmodel.traversal_time(out_dd.edges_examined, backward=backward)
+                edges_examined["dd"] += out_dd.edges_examined
+                delegate_update(g, "dd", out_dd, out_mask)
+
+            slots, values = program.merge_remote(newly_local, newly_local_values)
+            fresh = state.update_normals(g, slots, values, program.accept)
+            fresh_from_dn.append(fresh)
+            out_masks.append(out_mask)
+            per_gpu_comp[g] = comp
+
+        # ------------------------------------------------------------------ #
+        # Communication stage
+        # ------------------------------------------------------------------ #
+        exchange = communicator.exchange_normals(
+            nn_outboxes,
+            local_all2all=opts.local_all2all,
+            uniquify=opts.uniquify,
+            payloads=nn_payloads if program.payload_exchange else None,
+            payload_combine=program.combine,
+            payload_identity=program.combine_identity,
+        )
+        discovered = 0
+        for g in range(p):
+            inbox = exchange.inboxes[g]
+            if program.payload_exchange:
+                inbox_values = exchange.payload_inboxes[g]
+            else:
+                inbox_values = program.visit_value(
+                    VisitContext(
+                        kernel="recv",
+                        gpu=g,
+                        level=level,
+                        backward=False,
+                        discovered=inbox,
+                    )
+                )
+            slots, values = program.merge_remote(inbox, inbox_values)
+            fresh_recv = state.update_normals(g, slots, values, program.accept)
+            if fresh_from_dn[g].size or fresh_recv.size:
+                state.normal_frontiers[g] = np.union1d(fresh_from_dn[g], fresh_recv)
+            else:
+                state.normal_frontiers[g] = np.zeros(0, dtype=np.int64)
+            discovered += int(state.normal_frontiers[g].size)
+
+        if mask_channel:
+            delegate_reduce_needed = any(mask.any() for mask in out_masks)
+        else:
+            delegate_reduce_needed = delegate_proposals_any
+        reduce_local_s = 0.0
+        reduce_global_s = 0.0
+        if delegate_reduce_needed and mask_channel:
+            reduce = communicator.allreduce_delegate_masks(
+                out_masks, blocking=opts.blocking_reduce
+            )
+            new_bits = reduce.merged.and_not(state.delegate_visited)
+            ids = new_bits.to_indices()
+            fresh_delegates = state.update_delegates(
+                ids,
+                np.full(ids.size, program.level_value(level), dtype=np.int64),
+                program.accept,
+            )
+            reduce_local_s = reduce.local_time_s
+            reduce_global_s = reduce.global_time_s
+        elif delegate_reduce_needed:
+            vreduce = communicator.allreduce_delegate_values(
+                delegate_proposals, combine=program.combine, blocking=opts.blocking_reduce
+            )
+            candidates = np.flatnonzero(vreduce.merged != program.combine_identity)
+            fresh_delegates = state.update_delegates(
+                candidates, vreduce.merged[candidates], program.accept
+            )
+            reduce_local_s = vreduce.local_time_s
+            reduce_global_s = vreduce.global_time_s
+        else:
+            fresh_delegates = np.zeros(0, dtype=np.int64)
+        state.delegate_frontier = fresh_delegates
+        discovered += int(fresh_delegates.size)
+
+        # ------------------------------------------------------------------ #
+        # Modeled timing for this super-step
+        # ------------------------------------------------------------------ #
+        computation_s = float(per_gpu_comp.max()) if p else 0.0
+        local_comm_s = exchange.local_time_s + reduce_local_s
+        remote_normal_s = exchange.remote_time_s
+        remote_delegate_s = reduce_global_s
+        comm_total = local_comm_s + remote_normal_s + remote_delegate_s
+        overlap = opts.overlap_efficiency * min(computation_s, comm_total)
+        elapsed_s = computation_s + comm_total - overlap
+
+        return IterationRecord(
+            iteration=level,
+            normal_frontier_size=normal_frontier_total,
+            delegate_frontier_size=int(frontier_d.size),
+            edges_examined=edges_examined,
+            directions=directions,
+            discovered=discovered,
+            delegate_reduce=delegate_reduce_needed,
+            computation_s=computation_s,
+            local_communication_s=local_comm_s,
+            remote_normal_exchange_s=remote_normal_s,
+            remote_delegate_reduce_s=remote_delegate_s,
+            elapsed_s=elapsed_s,
+        )
 
 
 class DistributedBFS:
     """Distributed breadth-first search over a degree-separated partitioning.
+
+    The seed API, kept verbatim: a thin wrapper running
+    :class:`repro.core.programs.BFSLevels` through the generic
+    :class:`TraversalEngine` with identical answers and modeled timings.
 
     Parameters
     ----------
@@ -81,260 +537,41 @@ class DistributedBFS:
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
     ) -> None:
-        self.graph = graph
-        self.options = options if options is not None else BFSOptions()
-        self.hardware = hardware if hardware is not None else HardwareSpec()
-        self.netmodel = NetworkModel(self.hardware)
-        self.topology = ClusterTopology(graph.layout)
-        # Cache per-GPU out-degree arrays of every subgraph; they are needed
-        # for previsit filtering and forward-workload computation each
-        # super-step and never change.
-        self._degrees = [
-            {
-                "nn": gpu.nn.out_degrees(),
-                "nd": gpu.nd.out_degrees(),
-                "dn": gpu.dn.out_degrees(),
-                "dd": gpu.dd.out_degrees(),
-            }
-            for gpu in graph.gpus
-        ]
+        self.engine = TraversalEngine(graph, options=options, hardware=hardware)
 
-    # ------------------------------------------------------------------ #
-    # Public API
-    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> PartitionedGraph:
+        return self.engine.graph
+
+    @property
+    def options(self) -> BFSOptions:
+        return self.engine.options
+
+    @property
+    def hardware(self) -> HardwareSpec:
+        return self.engine.hardware
+
+    @property
+    def netmodel(self) -> NetworkModel:
+        return self.engine.netmodel
+
+    @property
+    def topology(self) -> ClusterTopology:
+        return self.engine.topology
+
     def run(self, source: int) -> BFSResult:
         """Run one BFS from ``source`` and return distances plus metrics."""
-        opts = self.options
-        graph = self.graph
-        p = graph.num_gpus
-        d = graph.num_delegates
+        return self.engine.run(BFSLevels(source=int(source)))
 
-        state = BFSState.initialize(graph, source)
-        communicator = Communicator(self.topology, self.netmodel)
-        dir_states = {
-            "nd": [DirectionState(opts.nd_factors, enabled=opts.direction_optimized) for _ in range(p)],
-            "dn": [DirectionState(opts.dn_factors, enabled=opts.direction_optimized) for _ in range(p)],
-            "dd": [DirectionState(opts.dd_factors, enabled=opts.direction_optimized) for _ in range(p)],
-        }
+    def run_many(self, sources: np.ndarray | list[int]) -> "Campaign":
+        """Run BFS from several sources (the paper reports 140 per data point).
 
-        records: list[IterationRecord] = []
-        timing = TimingBreakdown()
-        total_edges = 0
-        level = 0
+        Returns a :class:`repro.core.campaign.Campaign`, an aggregating
+        sequence of the per-source results (indexable and iterable like the
+        plain list earlier versions returned).
+        """
+        from repro.core.campaign import Campaign
 
-        while not state.frontier_empty():
-            level += 1
-            if level > opts.max_iterations:
-                raise RuntimeError(
-                    f"BFS exceeded max_iterations={opts.max_iterations}; "
-                    "the graph or the engine state is inconsistent"
-                )
-            record = self._super_step(state, communicator, dir_states, level)
-            records.append(record)
-            total_edges += record.total_edges_examined()
-            timing.computation += record.computation_s * 1e3
-            timing.local_communication += record.local_communication_s * 1e3
-            timing.remote_normal_exchange += record.remote_normal_exchange_s * 1e3
-            timing.remote_delegate_reduce += record.remote_delegate_reduce_s * 1e3
-            timing.elapsed_ms += record.elapsed_s * 1e3
-            timing.per_iteration.append(record)
-
-        timing.iterations = len(records)
-        return BFSResult(
-            source=int(source),
-            distances=state.gather_distances(),
-            iterations=len(records),
-            records=records,
-            timing=timing,
-            comm_stats=communicator.stats,
-            total_edges_examined=total_edges,
-            num_directed_edges=graph.num_directed_edges,
-        )
-
-    def run_many(self, sources: np.ndarray | list[int]) -> list[BFSResult]:
-        """Run BFS from several sources (the paper reports 140 per data point)."""
-        return [self.run(int(s)) for s in np.asarray(sources, dtype=np.int64).ravel()]
-
-    # ------------------------------------------------------------------ #
-    # One super-step
-    # ------------------------------------------------------------------ #
-    def _super_step(
-        self,
-        state: BFSState,
-        communicator: Communicator,
-        dir_states: dict[str, list[DirectionState]],
-        level: int,
-    ) -> IterationRecord:
-        opts = self.options
-        graph = self.graph
-        p = graph.num_gpus
-        d = graph.num_delegates
-
-        frontier_d = state.delegate_frontier
-        delegate_frontier_flags = np.zeros(d, dtype=bool)
-        if frontier_d.size:
-            delegate_frontier_flags[frontier_d] = True
-        unvisited_delegates = state.unvisited_delegates() if d else np.zeros(0, dtype=np.int64)
-
-        nn_outboxes: list[np.ndarray] = []
-        out_masks: list[Bitmask] = []
-        fresh_from_dn: list[np.ndarray] = []
-        per_gpu_comp = np.zeros(p, dtype=np.float64)
-        edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        directions = {"nd": 0, "dn": 0, "dd": 0}
-
-        normal_frontier_total = int(sum(f.size for f in state.normal_frontiers))
-
-        for g in range(p):
-            part = graph.gpus[g]
-            deg = self._degrees[g]
-            frontier_n = state.normal_frontiers[g]
-            comp = self.netmodel.iteration_overhead()
-            comp += self.netmodel.filter_time(2 * frontier_n.size + 2 * frontier_d.size)
-
-            out_mask = Bitmask(d)
-
-            # ---- nn visit: always forward -------------------------------- #
-            queue_nn = filter_frontier(frontier_n, deg["nn"])
-            out_nn = forward_visit(part.nn, queue_nn)
-            comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
-            edges_examined["nn"] += out_nn.edges_examined
-            nn_outboxes.append(out_nn.discovered)
-
-            # ---- shared backward candidate sets --------------------------- #
-            if d:
-                cand_nd = unvisited_delegates[part.dn_source_mask[unvisited_delegates]]
-                cand_dd = unvisited_delegates[part.dd_source_mask[unvisited_delegates]]
-            else:
-                cand_nd = np.zeros(0, dtype=np.int64)
-                cand_dd = np.zeros(0, dtype=np.int64)
-            if part.nd_source_list.size:
-                nd_src_levels = state.normal_levels[g][part.nd_source_list]
-                cand_dn = part.nd_source_list[nd_src_levels == UNVISITED]
-            else:
-                cand_dn = np.zeros(0, dtype=np.int64)
-
-            normal_frontier_flags = None
-
-            # ---- nd visit (destinations are delegates) -------------------- #
-            if d:
-                queue_nd = filter_frontier(frontier_n, deg["nd"])
-                fv_nd = int(deg["nd"][queue_nd].sum()) if queue_nd.size else 0
-                bv_nd = estimate_backward_workload(cand_nd.size, q=int(frontier_n.size), s=int(cand_dn.size))
-                backward = dir_states["nd"][g].decide(fv_nd, bv_nd)
-                if backward:
-                    if normal_frontier_flags is None:
-                        normal_frontier_flags = np.zeros(part.num_local, dtype=bool)
-                        if frontier_n.size:
-                            normal_frontier_flags[frontier_n] = True
-                    out_nd = backward_visit(part.dn, cand_nd, normal_frontier_flags)
-                    directions["nd"] += 1
-                else:
-                    out_nd = forward_visit(part.nd, queue_nd)
-                comp += self.netmodel.traversal_time(out_nd.edges_examined, backward=backward)
-                edges_examined["nd"] += out_nd.edges_examined
-                if out_nd.discovered.size:
-                    found = np.unique(out_nd.discovered)
-                    # Drop delegates that are already visited (their status is
-                    # replicated, so this local filter needs no communication
-                    # and avoids pointless mask reductions).
-                    found = found[~state.delegate_visited.test_many(found)]
-                    if found.size:
-                        out_mask.set_many(found)
-
-            # ---- dn visit (destinations are local normal vertices) -------- #
-            newly_local = np.zeros(0, dtype=np.int64)
-            if d and part.num_local:
-                queue_dn = filter_frontier(frontier_d, deg["dn"])
-                fv_dn = int(deg["dn"][queue_dn].sum()) if queue_dn.size else 0
-                bv_dn = estimate_backward_workload(cand_dn.size, q=int(frontier_d.size), s=int(cand_nd.size))
-                backward = dir_states["dn"][g].decide(fv_dn, bv_dn)
-                if backward:
-                    out_dn = backward_visit(part.nd, cand_dn, delegate_frontier_flags)
-                    directions["dn"] += 1
-                else:
-                    out_dn = forward_visit(part.dn, queue_dn)
-                comp += self.netmodel.traversal_time(out_dn.edges_examined, backward=backward)
-                edges_examined["dn"] += out_dn.edges_examined
-                newly_local = out_dn.discovered
-
-            # ---- dd visit (delegates to delegates) ------------------------ #
-            if d:
-                queue_dd = filter_frontier(frontier_d, deg["dd"])
-                fv_dd = int(deg["dd"][queue_dd].sum()) if queue_dd.size else 0
-                bv_dd = estimate_backward_workload(cand_dd.size, q=int(frontier_d.size), s=int(cand_dd.size))
-                backward = dir_states["dd"][g].decide(fv_dd, bv_dd)
-                if backward:
-                    out_dd = backward_visit(part.dd, cand_dd, delegate_frontier_flags)
-                    directions["dd"] += 1
-                else:
-                    out_dd = forward_visit(part.dd, queue_dd)
-                comp += self.netmodel.traversal_time(out_dd.edges_examined, backward=backward)
-                edges_examined["dd"] += out_dd.edges_examined
-                if out_dd.discovered.size:
-                    found = np.unique(out_dd.discovered)
-                    found = found[~state.delegate_visited.test_many(found)]
-                    if found.size:
-                        out_mask.set_many(found)
-
-            fresh = state.mark_normals(g, newly_local, level)
-            fresh_from_dn.append(fresh)
-            out_masks.append(out_mask)
-            per_gpu_comp[g] = comp
-
-        # ------------------------------------------------------------------ #
-        # Communication stage
-        # ------------------------------------------------------------------ #
-        exchange = communicator.exchange_normals(
-            nn_outboxes, local_all2all=opts.local_all2all, uniquify=opts.uniquify
-        )
-        discovered = 0
-        for g in range(p):
-            fresh_recv = state.mark_normals(g, exchange.inboxes[g], level)
-            if fresh_from_dn[g].size or fresh_recv.size:
-                state.normal_frontiers[g] = np.union1d(fresh_from_dn[g], fresh_recv)
-            else:
-                state.normal_frontiers[g] = np.zeros(0, dtype=np.int64)
-            discovered += int(state.normal_frontiers[g].size)
-
-        delegate_reduce_needed = any(mask.any() for mask in out_masks)
-        reduce_local_s = 0.0
-        reduce_global_s = 0.0
-        if delegate_reduce_needed:
-            reduce = communicator.allreduce_delegate_masks(
-                out_masks, blocking=opts.blocking_reduce
-            )
-            new_bits = reduce.merged.and_not(state.delegate_visited)
-            fresh_delegates = state.mark_delegates(new_bits.to_indices(), level)
-            reduce_local_s = reduce.local_time_s
-            reduce_global_s = reduce.global_time_s
-        else:
-            fresh_delegates = np.zeros(0, dtype=np.int64)
-        state.delegate_frontier = fresh_delegates
-        discovered += int(fresh_delegates.size)
-
-        # ------------------------------------------------------------------ #
-        # Modeled timing for this super-step
-        # ------------------------------------------------------------------ #
-        computation_s = float(per_gpu_comp.max()) if p else 0.0
-        local_comm_s = exchange.local_time_s + reduce_local_s
-        remote_normal_s = exchange.remote_time_s
-        remote_delegate_s = reduce_global_s
-        comm_total = local_comm_s + remote_normal_s + remote_delegate_s
-        overlap = opts.overlap_efficiency * min(computation_s, comm_total)
-        elapsed_s = computation_s + comm_total - overlap
-
-        return IterationRecord(
-            iteration=level,
-            normal_frontier_size=normal_frontier_total,
-            delegate_frontier_size=int(frontier_d.size),
-            edges_examined=edges_examined,
-            directions=directions,
-            discovered=discovered,
-            delegate_reduce=delegate_reduce_needed,
-            computation_s=computation_s,
-            local_communication_s=local_comm_s,
-            remote_normal_exchange_s=remote_normal_s,
-            remote_delegate_reduce_s=remote_delegate_s,
-            elapsed_s=elapsed_s,
+        return Campaign.from_results(
+            [self.run(int(s)) for s in np.asarray(sources, dtype=np.int64).ravel()]
         )

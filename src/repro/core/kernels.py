@@ -51,11 +51,22 @@ class KernelOutput:
     backward:
         Whether the kernel ran in backward-pull mode (pulls are cheaper per
         edge in the hardware model).
+    sources:
+        Per entry of ``discovered``, the id of the vertex that discovered it:
+        the frontier row for forward kernels, the first frontier parent hit by
+        the early-exit scan for backward kernels.  Frontier programs that
+        attach a per-discovery value (parent pointers, component labels) read
+        this; level-style programs may ignore it.
     """
 
     discovered: np.ndarray
     edges_examined: int
     backward: bool
+    sources: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.sources is None:
+            self.sources = np.zeros(0, dtype=np.int64)
 
 
 def frontier_workload(csr: CSRGraph, frontier: np.ndarray) -> int:
@@ -96,11 +107,12 @@ def forward_visit(csr: CSRGraph, frontier: np.ndarray) -> KernelOutput:
     frontier = np.asarray(frontier, dtype=np.int64).ravel()
     if frontier.size == 0:
         return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
-    _, destinations = csr.gather_neighbors(frontier)
+    rows, destinations = csr.gather_neighbors(frontier)
     return KernelOutput(
         discovered=np.asarray(destinations, dtype=np.int64),
         edges_examined=int(destinations.size),
         backward=False,
+        sources=np.asarray(rows, dtype=np.int64),
     )
 
 
@@ -175,8 +187,13 @@ def backward_visit(
     found = first_hit >= 0
     examined = np.where(found, first_hit + 1, seg_lengths)
     discovered = seg_candidates[found]
+    # The early-exit scan stops at the first frontier parent; that parent is
+    # the discovering source of the candidate (the edge at offset first_hit
+    # within the candidate's segment).
+    hit_parents = np.asarray(parents, dtype=np.int64)[seg_starts[found] + first_hit[found]]
     return KernelOutput(
         discovered=discovered.astype(np.int64),
         edges_examined=int(examined.sum()),
         backward=True,
+        sources=hit_parents,
     )

@@ -92,7 +92,13 @@ class BFSOptions:
             raise ValueError("uniquify=True requires local_all2all=True")
 
     def label(self) -> str:
-        """Short label in the style of the paper's Figure 8 x-axis."""
+        """Short label in the style of the paper's Figure 8 x-axis.
+
+        The optimization prefix lists the enabled switches (``DO``, ``L``,
+        ``U``); with all of them off it reads ``plain``.  The reduction
+        flavour (``BR``/``IR``) is always appended, so the all-off
+        configurations render as ``plain+BR`` / ``plain+IR``.
+        """
         parts = []
         if self.direction_optimized:
             parts.append("DO")
@@ -100,5 +106,7 @@ class BFSOptions:
             parts.append("L")
         if self.uniquify:
             parts.append("U")
+        if not parts:
+            parts.append("plain")
         parts.append("BR" if self.blocking_reduce else "IR")
-        return "+".join(parts) if parts else "plain"
+        return "+".join(parts)

@@ -1,0 +1,43 @@
+"""Breadth-first search producing hop levels — the paper's algorithm.
+
+This program reproduces the seed :class:`repro.core.engine.DistributedBFS`
+behaviour exactly: visit-once semantics, 1-bit delegate masks, no payload on
+the normal-vertex exchange, and full per-subgraph direction optimization.
+Its per-vertex value is the hop distance from the source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.programs.base import (
+    FrontierProgram,
+    ProgramInit,
+    VisitContext,
+    single_source_init,
+)
+from repro.core.results import BFSResult
+from repro.partition.subgraphs import PartitionedGraph
+
+__all__ = ["BFSLevels"]
+
+
+class BFSLevels(FrontierProgram):
+    """Level-synchronous (DO)BFS from one source; values are hop distances."""
+
+    name = "bfs"
+    payload_exchange = False
+    delegate_channel = "mask"
+    direction_optimized_ok = True
+
+    def __init__(self, source: int) -> None:
+        self.source = int(source)
+
+    def init_state(self, graph: PartitionedGraph) -> ProgramInit:
+        return single_source_init(graph, self.source, value=0)
+
+    def visit_value(self, ctx: VisitContext) -> np.ndarray:
+        return np.full(ctx.discovered.size, ctx.level, dtype=np.int64)
+
+    def make_result(self, values: np.ndarray, base: dict) -> BFSResult:
+        return BFSResult(source=self.source, distances=values, **base)

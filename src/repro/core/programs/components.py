@@ -1,0 +1,70 @@
+"""Connected components by min-label propagation over undirected edges.
+
+Every vertex starts labelled with its own global id and the whole graph forms
+the initial frontier; each super-step, frontier vertices push their label to
+their neighbours through the same four subgraph kernels BFS uses, and a
+vertex that receives a smaller label adopts it and re-enters the frontier.
+At the fixpoint every vertex holds the smallest vertex id of its (weakly)
+connected component — the prepared edge lists are symmetric, so weak and
+undirected components coincide.
+
+Differences from the BFS-style programs, all expressed through the protocol:
+
+* the ``accept`` hook takes any *smaller* label, so labelled vertices are
+  revisited; the visit-once candidate machinery (and with it backward-pull
+  direction optimization, which assumes "any frontier parent is final") is
+  off via ``direction_optimized_ok``;
+* both communication channels carry labels: an 8-byte payload on the
+  normal-vertex exchange and a 64-bit min-reduction on the delegate channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.programs.base import FrontierProgram, ProgramInit, VisitContext
+from repro.core.results import ComponentsResult
+from repro.core.state import UNVISITED
+from repro.partition.subgraphs import PartitionedGraph
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(FrontierProgram):
+    """Label propagation to a fixpoint; values are component labels."""
+
+    name = "components"
+    payload_exchange = True
+    delegate_channel = "values"
+    direction_optimized_ok = False
+
+    def init_state(self, graph: PartitionedGraph) -> ProgramInit:
+        normal_values = []
+        normal_frontiers = []
+        for gpu in graph.gpus:
+            values = np.full(gpu.num_local, UNVISITED, dtype=np.int64)
+            normal_slots = np.flatnonzero(gpu.local_is_normal).astype(np.int64)
+            values[normal_slots] = gpu.global_ids_of_locals(normal_slots)
+            normal_values.append(values)
+            normal_frontiers.append(normal_slots)
+        d = graph.num_delegates
+        return ProgramInit(
+            normal_values=normal_values,
+            delegate_values=graph.delegate_vertices.astype(np.int64).copy(),
+            normal_frontiers=normal_frontiers,
+            delegate_frontier=np.arange(d, dtype=np.int64),
+        )
+
+    def visit_value(self, ctx: VisitContext) -> np.ndarray:
+        if ctx.source_values is None:
+            raise RuntimeError(
+                "ConnectedComponents needs source labels; the engine must run it "
+                "with payload support"
+            )
+        return ctx.source_values
+
+    def accept(self, current: np.ndarray, proposed: np.ndarray) -> np.ndarray:
+        return proposed < current
+
+    def make_result(self, values: np.ndarray, base: dict) -> ComponentsResult:
+        return ComponentsResult(labels=values, **base)

@@ -1,28 +1,40 @@
-"""Result containers of a distributed BFS run.
+"""Result containers of distributed traversal runs.
 
-A :class:`BFSResult` bundles three things:
+Every run of the generic :class:`repro.core.engine.TraversalEngine` produces a
+:class:`TraversalResult` bundling three things:
 
-1. the **answer** — exact hop distances from the source (the paper's
-   implementation likewise "outputs the hop-distances from the source vertex,
-   instead of the BFS tree required by Graph500");
+1. the **answer** — the per-vertex values the frontier program computed
+   (hop distances for :class:`BFSResult`, parent pointers for
+   :class:`ParentTreeResult`, component labels for :class:`ComponentsResult`);
 2. the **counters** — per-kernel edges examined, frontier sizes and
    communication volumes, recorded per iteration in
    :class:`IterationRecord`; and
 3. the **modeled performance** — the per-phase
    :class:`repro.utils.timing.TimingBreakdown` and the derived traversal rate
    (TEPS), computed from the counters through the hardware model.
+
+The counters and timing machinery is shared by every algorithm; only the
+answer-specific fields and derived metrics live on the subclasses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
 from repro.cluster.comm import CommStats
 from repro.utils.timing import TimingBreakdown
 
-__all__ = ["IterationRecord", "BFSResult"]
+__all__ = [
+    "IterationRecord",
+    "TraversalResult",
+    "BFSResult",
+    "ParentTreeResult",
+    "ComponentsResult",
+    "ReachabilityResult",
+]
 
 
 @dataclass
@@ -55,11 +67,12 @@ class IterationRecord:
 
 
 @dataclass
-class BFSResult:
-    """Full outcome of one BFS run."""
+class TraversalResult:
+    """Common outcome of one traversal-program run (any algorithm)."""
 
-    source: int
-    distances: np.ndarray
+    #: Short algorithm name, set by each concrete result class.
+    algorithm: ClassVar[str] = "traversal"
+
     iterations: int
     records: list[IterationRecord]
     timing: TimingBreakdown
@@ -73,17 +86,6 @@ class BFSResult:
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
-    @property
-    def num_visited(self) -> int:
-        """Number of vertices reached from the source (including the source)."""
-        return int(np.count_nonzero(self.distances >= 0))
-
-    @property
-    def depth(self) -> int:
-        """Largest hop distance reached."""
-        visited = self.distances[self.distances >= 0]
-        return int(visited.max()) if visited.size else 0
-
     @property
     def elapsed_ms(self) -> float:
         """Modeled end-to-end elapsed time in milliseconds."""
@@ -124,15 +126,151 @@ class BFSResult:
     def summary(self) -> dict:
         """Compact dictionary summary for logging / tabular output."""
         return {
-            "source": self.source,
+            "algorithm": self.algorithm,
             "iterations": self.iterations,
-            "visited": self.num_visited,
-            "depth": self.depth,
             "elapsed_ms": self.timing.elapsed_ms,
-            "gteps": self.gteps(),
+            # Zero-super-step runs (e.g. 0-hop reachability) have no elapsed
+            # time and therefore no rate.
+            "gteps": self.gteps() if self.timing.elapsed_ms > 0 else 0.0,
             "edges_examined": self.total_edges_examined,
             "computation_ms": self.timing.computation,
             "local_comm_ms": self.timing.local_communication,
             "remote_normal_ms": self.timing.remote_normal_exchange,
             "remote_delegate_ms": self.timing.remote_delegate_reduce,
         }
+
+
+@dataclass
+class BFSResult(TraversalResult):
+    """Full outcome of one BFS-levels run (the paper's algorithm)."""
+
+    algorithm: ClassVar[str] = "bfs"
+
+    source: int = 0
+    distances: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def num_visited(self) -> int:
+        """Number of vertices reached from the source (including the source)."""
+        return int(np.count_nonzero(self.distances >= 0))
+
+    @property
+    def depth(self) -> int:
+        """Largest hop distance reached."""
+        visited = self.distances[self.distances >= 0]
+        return int(visited.max()) if visited.size else 0
+
+    def summary(self) -> dict:
+        """Compact dictionary summary for logging / tabular output."""
+        base = super().summary()
+        base.update(
+            {
+                "source": self.source,
+                "visited": self.num_visited,
+                "depth": self.depth,
+            }
+        )
+        return base
+
+
+@dataclass
+class ParentTreeResult(TraversalResult):
+    """Graph500-style parent tree: ``parents[v]`` is the BFS parent of ``v``.
+
+    The source is its own parent; unreached vertices hold ``-1``.  The tree
+    is deterministic: when several parents claim a vertex through the same
+    channel in one super-step the smallest parent id wins, and cross-channel
+    ties resolve by the engine's fixed update order (local dn discoveries are
+    applied before exchange-delivered ones).
+    """
+
+    algorithm: ClassVar[str] = "bfs-parents"
+
+    source: int = 0
+    parents: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def num_visited(self) -> int:
+        """Number of vertices in the parent tree (including the source)."""
+        return int(np.count_nonzero(self.parents >= 0))
+
+    def tree_edges(self) -> np.ndarray:
+        """The (parent, child) pairs of the tree, excluding the source's self-loop."""
+        children = np.flatnonzero(self.parents >= 0)
+        children = children[children != self.source]
+        return np.stack([self.parents[children], children], axis=1)
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update({"source": self.source, "visited": self.num_visited})
+        return base
+
+
+@dataclass
+class ComponentsResult(TraversalResult):
+    """Connected-component labels: ``labels[v]`` is the smallest vertex id in
+    ``v``'s component (isolated vertices label themselves)."""
+
+    algorithm: ClassVar[str] = "components"
+
+    labels: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def num_components(self) -> int:
+        """Number of connected components (isolated vertices count as one each)."""
+        return int(np.unique(self.labels).size)
+
+    @property
+    def largest_component_size(self) -> int:
+        """Vertex count of the largest component."""
+        if self.labels.size == 0:
+            return 0
+        _, counts = np.unique(self.labels, return_counts=True)
+        return int(counts.max())
+
+    def component_sizes(self) -> dict:
+        """Mapping from component label to component size."""
+        labels, counts = np.unique(self.labels, return_counts=True)
+        return {int(label): int(count) for label, count in zip(labels, counts)}
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update(
+            {
+                "components": self.num_components,
+                "largest_component": self.largest_component_size,
+            }
+        )
+        return base
+
+
+@dataclass
+class ReachabilityResult(TraversalResult):
+    """K-hop reachability: distances capped at ``max_hops`` from the source."""
+
+    algorithm: ClassVar[str] = "k-hop"
+
+    source: int = 0
+    max_hops: int = 0
+    distances: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def reachable(self) -> np.ndarray:
+        """Boolean mask of vertices within ``max_hops`` of the source."""
+        return self.distances >= 0
+
+    @property
+    def num_reached(self) -> int:
+        """Number of vertices within ``max_hops`` of the source."""
+        return int(np.count_nonzero(self.distances >= 0))
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update(
+            {
+                "source": self.source,
+                "max_hops": self.max_hops,
+                "reached": self.num_reached,
+            }
+        )
+        return base

@@ -1,0 +1,279 @@
+"""Fluent facade over the generate → partition → traverse pipeline.
+
+The library's building blocks (edge lists, layouts, degree separation, the
+traversal engine, frontier programs) compose explicitly, which the examples
+and benchmarks need — but the common workflows are three lines of
+boilerplate.  :func:`session` provides the one-liner:
+
+>>> import repro
+>>> result = (
+...     repro.session(layout="2x1x2")
+...     .generate(scale=10, seed=7)
+...     .threshold(repro.auto)
+...     .run(repro.BFSLevels(source=0))
+... )
+>>> int(result.distances[0])
+0
+
+A :class:`Session` collects configuration fluently (every setter returns the
+session); :meth:`Session.build` partitions the graph once and returns a
+:class:`GraphSession` with algorithm shorthands — ``graph.bfs()``,
+``graph.components()``, ``graph.parents()``, ``graph.khop()``,
+``graph.campaign()`` — all running through the same generic
+:class:`repro.core.engine.TraversalEngine`.  Calling an algorithm (or
+``run``) directly on the :class:`Session` builds implicitly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.hardware import HardwareSpec
+from repro.core.campaign import Campaign, run_campaign
+from repro.core.engine import TraversalEngine
+from repro.core.options import BFSOptions
+from repro.core.programs import (
+    BFSLevels,
+    BFSParents,
+    ConnectedComponents,
+    FrontierProgram,
+    KHopReachability,
+)
+from repro.core.results import TraversalResult
+from repro.graph.edgelist import EdgeList
+from repro.partition.delegates import suggest_threshold
+from repro.partition.layout import ClusterLayout
+from repro.partition.subgraphs import PartitionedGraph, build_partitions
+
+__all__ = ["auto", "session", "Session", "GraphSession"]
+
+
+class _Auto:
+    """Sentinel for "derive this setting from the data" (``repro.auto``)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "auto"
+
+
+#: Pass to :meth:`Session.threshold` to use the paper's suggested TH.
+auto = _Auto()
+
+
+def session(
+    layout: str | ClusterLayout = "4x1x2",
+    options: BFSOptions | None = None,
+    hardware: HardwareSpec | None = None,
+) -> "Session":
+    """Start a fluent traversal session over a virtual cluster.
+
+    Parameters
+    ----------
+    layout:
+        Cluster geometry, either a :class:`repro.partition.ClusterLayout` or
+        the ``"nodes x ranks-per-node x gpus-per-rank"`` notation the CLI
+        uses (e.g. ``"4x1x2"``).
+    options:
+        Engine options; defaults to the paper's main configuration.
+    hardware:
+        Performance-model hardware; defaults to the paper's Ray system.
+    """
+    return Session(layout=layout, options=options, hardware=hardware)
+
+
+class Session:
+    """Mutable fluent builder for one partitioned graph + engine."""
+
+    def __init__(
+        self,
+        layout: str | ClusterLayout = "4x1x2",
+        options: BFSOptions | None = None,
+        hardware: HardwareSpec | None = None,
+    ) -> None:
+        self._layout = (
+            layout if isinstance(layout, ClusterLayout) else ClusterLayout.from_notation(layout)
+        )
+        self._options = options
+        self._hardware = hardware
+        self._edges: EdgeList | None = None
+        self._threshold: int | _Auto = auto
+        self._built: GraphSession | None = None
+
+    # ------------------------------------------------------------------ #
+    # Configuration (each returns self)
+    # ------------------------------------------------------------------ #
+    def load(self, edges: EdgeList | str | Path) -> "Session":
+        """Use an existing edge list, or load one from a ``.npz`` path."""
+        if isinstance(edges, (str, Path)):
+            from repro.graph.io import load_npz
+
+            edges = load_npz(Path(edges))
+        if not isinstance(edges, EdgeList):
+            raise TypeError(f"expected an EdgeList or a path, got {type(edges).__name__}")
+        self._edges = edges
+        self._built = None
+        return self
+
+    def generate(self, scale: int = 14, kind: str = "rmat", seed: int = 11) -> "Session":
+        """Generate a prepared graph (RMAT or a synthetic substitute)."""
+        if kind == "rmat":
+            from repro.graph.rmat import generate_rmat
+
+            edges = generate_rmat(scale, rng=seed)
+        elif kind == "friendster":
+            from repro.graph.generators import friendster_like
+
+            edges = friendster_like(num_vertices=1 << scale, rng=seed).prepared()
+        elif kind == "wdc":
+            from repro.graph.generators import wdc_like
+
+            edges = wdc_like(num_vertices=1 << scale, rng=seed).prepared()
+        else:
+            raise ValueError(f"unknown graph kind {kind!r}")
+        self._edges = edges
+        self._built = None
+        return self
+
+    def threshold(self, threshold: int | _Auto) -> "Session":
+        """Set the degree threshold TH (``repro.auto`` = paper's suggestion)."""
+        if not isinstance(threshold, _Auto):
+            threshold = int(threshold)
+            if threshold < 1:
+                raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._threshold = threshold
+        self._built = None
+        return self
+
+    def options(self, options: BFSOptions | None = None, **kwargs) -> "Session":
+        """Set engine options, either whole or by keyword (e.g. ``uniquify=True``)."""
+        if options is not None and kwargs:
+            raise ValueError("pass either an options object or keywords, not both")
+        if options is None:
+            options = BFSOptions(**kwargs)
+        self._options = options
+        self._built = None
+        return self
+
+    def hardware(self, hardware: HardwareSpec) -> "Session":
+        """Set the performance-model hardware."""
+        self._hardware = hardware
+        self._built = None
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Building and running
+    # ------------------------------------------------------------------ #
+    def build(self) -> "GraphSession":
+        """Partition the graph and return the runnable handle (cached)."""
+        if self._built is not None:
+            return self._built
+        if self._edges is None:
+            raise RuntimeError(
+                "no graph configured: call .load(edges) or .generate(scale=...) first"
+            )
+        threshold = self._threshold
+        if isinstance(threshold, _Auto):
+            threshold = suggest_threshold(self._edges, self._layout.num_gpus)
+        graph = build_partitions(self._edges, self._layout, threshold)
+        engine = TraversalEngine(graph, options=self._options, hardware=self._hardware)
+        self._built = GraphSession(edges=self._edges, graph=graph, engine=engine)
+        return self._built
+
+    def run(self, program: FrontierProgram) -> TraversalResult:
+        """Build (if needed) and run one frontier program."""
+        return self.build().run(program)
+
+    def bfs(self, source: int) -> TraversalResult:
+        """Build (if needed) and run BFS levels from ``source``."""
+        return self.build().bfs(source)
+
+    def parents(self, source: int) -> TraversalResult:
+        """Build (if needed) and run the BFS parent-tree program."""
+        return self.build().parents(source)
+
+    def components(self) -> TraversalResult:
+        """Build (if needed) and run connected components."""
+        return self.build().components()
+
+    def khop(self, source: int, max_hops: int) -> TraversalResult:
+        """Build (if needed) and run k-hop reachability."""
+        return self.build().khop(source, max_hops)
+
+    def campaign(self, *args, **kwargs) -> Campaign:
+        """Build (if needed) and run a multi-source campaign."""
+        return self.build().campaign(*args, **kwargs)
+
+
+class GraphSession:
+    """A partitioned graph bound to a traversal engine, with shorthands."""
+
+    def __init__(self, edges: EdgeList, graph: PartitionedGraph, engine: TraversalEngine) -> None:
+        self.edges = edges
+        self.graph = graph
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # Generic execution
+    # ------------------------------------------------------------------ #
+    def run(self, program: FrontierProgram) -> TraversalResult:
+        """Run any frontier program on this graph."""
+        return self.engine.run(program)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm shorthands
+    # ------------------------------------------------------------------ #
+    def bfs(self, source: int) -> TraversalResult:
+        """Hop distances from ``source`` (the paper's DOBFS)."""
+        return self.run(BFSLevels(source=source))
+
+    def parents(self, source: int) -> TraversalResult:
+        """Graph500-style BFS parent tree from ``source``."""
+        return self.run(BFSParents(source=source))
+
+    def components(self) -> TraversalResult:
+        """Connected-component labels by min-label propagation."""
+        return self.run(ConnectedComponents())
+
+    def khop(self, source: int, max_hops: int) -> TraversalResult:
+        """Distances from ``source`` capped at ``max_hops`` levels."""
+        return self.run(KHopReachability(source=source, max_hops=max_hops))
+
+    def campaign(
+        self,
+        sources: np.ndarray | list[int] | int = 5,
+        program_factory=None,
+        seed: int = 11,
+        validate=None,
+        on_result=None,
+    ) -> Campaign:
+        """Run one program per source and aggregate (the paper's protocol).
+
+        ``sources`` may be explicit vertices or a count of random sources
+        drawn degree-weighted (the Graph500 convention of sampling sources
+        with at least one edge).
+        """
+        if isinstance(sources, (int, np.integer)):
+            from repro.graph.degree import out_degrees
+            from repro.utils.rng import random_sources
+
+            sources = random_sources(
+                self.edges.num_vertices,
+                int(sources),
+                rng=seed,
+                degrees=out_degrees(self.edges),
+            )
+        return run_campaign(
+            self.engine,
+            sources,
+            program_factory=program_factory,
+            validate=validate,
+            on_result=on_result,
+        )

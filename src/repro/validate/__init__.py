@@ -8,6 +8,10 @@ level closer, unreachable vertices stay unreachable), plus a direct comparison
 against an independent serial oracle.
 """
 
-from repro.validate.graph500 import ValidationReport, validate_distances
+from repro.validate.graph500 import (
+    ValidationReport,
+    validate_distances,
+    validate_parent_tree,
+)
 
-__all__ = ["ValidationReport", "validate_distances"]
+__all__ = ["ValidationReport", "validate_distances", "validate_parent_tree"]

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList
 
-__all__ = ["ValidationReport", "validate_distances"]
+__all__ = ["ValidationReport", "validate_distances", "validate_parent_tree"]
 
 
 @dataclass
@@ -140,6 +140,86 @@ def validate_distances(
                 )
             if mismatch.size > max_reported_errors:
                 errors.append(f"... and {mismatch.size - max_reported_errors} more mismatches")
+
+    return ValidationReport(
+        valid=not errors,
+        errors=errors,
+        num_visited=num_visited,
+        depth=depth,
+    )
+
+
+def validate_parent_tree(
+    edges: EdgeList,
+    source: int,
+    parents: np.ndarray,
+    reference_distances: np.ndarray,
+    max_reported_errors: int = 10,
+) -> ValidationReport:
+    """Validate a Graph500-style parent array against reference distances.
+
+    The rules (Graph500 spec §"validation", adapted to the parent output):
+
+    1. the source is its own parent;
+    2. exactly the vertices the reference reaches appear in the tree;
+    3. every tree edge ``(parents[v], v)`` is an edge of the graph;
+    4. every non-source tree vertex's parent sits exactly one level closer
+       to the source than the vertex itself.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    reference_distances = np.asarray(reference_distances, dtype=np.int64)
+    errors: list[str] = []
+
+    if parents.shape != (edges.num_vertices,):
+        errors.append(
+            f"parent array has shape {parents.shape}, expected ({edges.num_vertices},)"
+        )
+        return ValidationReport(valid=False, errors=errors)
+
+    visited = parents >= 0
+    num_visited = int(np.count_nonzero(visited))
+    depth = int(reference_distances.max()) if reference_distances.size else 0
+
+    # Rule 1: the source parents itself.
+    if not 0 <= source < edges.num_vertices:
+        errors.append(f"source {source} out of range")
+    elif parents[source] != source:
+        errors.append(f"source {source} has parent {parents[source]}, expected itself")
+
+    # Rule 2: the tree covers exactly the reachable set.
+    mismatch = np.flatnonzero(visited != (reference_distances >= 0))
+    for v in mismatch[:max_reported_errors]:
+        state = "in tree" if visited[v] else "missing from tree"
+        errors.append(f"vertex {v} is {state} but the reference disagrees")
+
+    children = np.flatnonzero(visited)
+    children = children[children != source]
+    tree_parents = parents[children]
+
+    # Rule 3: tree edges exist in the graph (directed parent -> child).
+    n = edges.num_vertices
+    edge_keys = np.sort(edges.src.astype(np.int64) * n + edges.dst.astype(np.int64))
+    child_keys = tree_parents * n + children
+    pos = np.searchsorted(edge_keys, child_keys)
+    pos = np.minimum(pos, edge_keys.size - 1) if edge_keys.size else pos
+    present = edge_keys.size > 0
+    missing = (
+        np.flatnonzero(edge_keys[pos] != child_keys) if present else np.arange(children.size)
+    )
+    for i in missing[:max_reported_errors]:
+        errors.append(
+            f"tree edge ({tree_parents[i]}, {children[i]}) is not an edge of the graph"
+        )
+
+    # Rule 4: parent distance = child distance - 1.
+    bad_level = np.flatnonzero(
+        reference_distances[tree_parents] != reference_distances[children] - 1
+    )
+    for i in bad_level[:max_reported_errors]:
+        errors.append(
+            f"vertex {children[i]} at distance {reference_distances[children[i]]} has "
+            f"parent {tree_parents[i]} at distance {reference_distances[tree_parents[i]]}"
+        )
 
     return ValidationReport(
         valid=not errors,

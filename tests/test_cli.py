@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,7 +74,7 @@ class TestCommands:
     def test_bfs_without_direction_optimization(self, capsys):
         code = main(["bfs", "--scale", "10", "--no-direction-optimization", "--sources", "2"])
         assert code == 0
-        assert "options BR" in capsys.readouterr().out
+        assert "options plain+BR" in capsys.readouterr().out
 
     def test_census_prints_table_and_suggestion(self, capsys):
         code = main(["census", "--scale", "11", "--gpus", "4"])
@@ -83,3 +82,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "delegates%" in out
         assert "suggested threshold" in out
+
+
+class TestNewSubcommandsAndJson:
+    def test_bfs_parents_algorithm_validates(self, capsys):
+        code = main(
+            [
+                "bfs",
+                "--scale",
+                "10",
+                "--layout",
+                "2x1x2",
+                "--algorithm",
+                "parents",
+                "--sources",
+                "2",
+                "--validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm parents" in out
+        assert "validated" in out
+
+    def test_bfs_json_output(self, capsys):
+        import json
+
+        code = main(
+            ["bfs", "--scale", "10", "--layout", "2x1x2", "--sources", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "levels"
+        assert payload["graph"]["vertices"] == 1024
+        assert len(payload["runs"]) == 3
+        assert {"runs", "reported", "skipped"} <= set(payload["campaign"])
+        for run in payload["runs"]:
+            assert {"source", "gteps", "iterations", "visited"} <= set(run)
+
+    def test_components_subcommand(self, capsys):
+        code = main(["components", "--scale", "10", "--layout", "2x1x2", "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "components:" in out
+        assert "union-find" in out
+
+    def test_components_json(self, capsys):
+        import json
+
+        code = main(["components", "--scale", "10", "--layout", "2x1x2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["algorithm"] == "components"
+        assert payload["result"]["components"] >= 1
+
+    def test_census_json(self, capsys):
+        import json
+
+        code = main(["census", "--scale", "10", "--gpus", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suggested_threshold"] >= 1
+        assert all("threshold" in row for row in payload["rows"])

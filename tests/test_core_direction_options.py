@@ -103,7 +103,14 @@ class TestBFSOptions:
 
     def test_label(self):
         assert BFSOptions().label() == "DO+BR"
-        assert BFSOptions(direction_optimized=False, blocking_reduce=False).label() == "IR"
         assert (
             BFSOptions(local_all2all=True, uniquify=True).label() == "DO+L+U+BR"
+        )
+
+    def test_label_renders_plain_when_all_optimizations_off(self):
+        """With DO/L/U all off the label must still name the configuration."""
+        assert BFSOptions(direction_optimized=False).label() == "plain+BR"
+        assert (
+            BFSOptions(direction_optimized=False, blocking_reduce=False).label()
+            == "plain+IR"
         )

@@ -1,0 +1,195 @@
+"""Tests for the fluent session facade and the campaign aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.serial_bfs import serial_bfs
+from repro.core.campaign import Campaign, run_campaign
+from repro.core.engine import DistributedBFS, TraversalEngine
+from repro.core.programs import BFSLevels, BFSParents
+from repro.graph.csr import CSRGraph
+from repro.partition.subgraphs import build_partitions
+
+
+class TestSessionBuilder:
+    def test_issue_style_one_liner(self, rmat_small):
+        result = (
+            repro.session(layout="4x1x2")
+            .load(rmat_small)
+            .threshold(repro.auto)
+            .run(BFSLevels(source=0))
+        )
+        reference = serial_bfs(CSRGraph.from_edgelist(rmat_small), 0)
+        np.testing.assert_array_equal(result.distances, reference)
+
+    def test_generate_and_build(self):
+        graph = repro.session(layout="2x1x2").generate(scale=9, seed=3).build()
+        assert graph.graph.num_vertices == 512
+        assert graph.engine.graph is graph.graph
+
+    def test_load_from_npz_path(self, rmat_small, tmp_path):
+        from repro.graph.io import save_npz
+
+        path = tmp_path / "g.npz"
+        save_npz(path, rmat_small)
+        graph = repro.session(layout="2x1x2").load(path).threshold(32).build()
+        assert graph.graph.num_vertices == rmat_small.num_vertices
+
+    def test_explicit_threshold_respected(self, rmat_small):
+        graph = repro.session(layout="2x1x2").load(rmat_small).threshold(17).build()
+        assert graph.graph.threshold == 17
+
+    def test_build_is_cached_and_invalidated(self, rmat_small):
+        sess = repro.session(layout="2x1x2").load(rmat_small).threshold(32)
+        first = sess.build()
+        assert sess.build() is first
+        sess.threshold(64)
+        second = sess.build()
+        assert second is not first
+        assert second.graph.threshold == 64
+
+    def test_options_keywords(self, rmat_small):
+        sess = repro.session(layout="2x1x2").load(rmat_small).options(uniquify=True, local_all2all=True)
+        assert sess.build().engine.options.uniquify
+
+    def test_options_object_and_keywords_conflict(self, rmat_small):
+        from repro.core.options import BFSOptions
+
+        with pytest.raises(ValueError):
+            repro.session().options(BFSOptions(), uniquify=True)
+
+    def test_run_without_graph_raises(self):
+        with pytest.raises(RuntimeError):
+            repro.session().run(BFSLevels(source=0))
+
+    def test_bad_load_type_raises(self):
+        with pytest.raises(TypeError):
+            repro.session().load(42)
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ValueError):
+            repro.session().threshold(0)
+
+
+class TestGraphSessionShorthands:
+    @pytest.fixture(scope="class")
+    def graph(self, rmat_small):
+        return repro.session(layout="2x1x2").load(rmat_small).threshold(32).build()
+
+    def test_bfs_shorthand(self, graph, rmat_small):
+        result = graph.bfs(source=3)
+        reference = serial_bfs(CSRGraph.from_edgelist(rmat_small), 3)
+        np.testing.assert_array_equal(result.distances, reference)
+
+    def test_parents_shorthand(self, graph, rmat_small):
+        from repro.validate.graph500 import validate_parent_tree
+
+        reference = serial_bfs(CSRGraph.from_edgelist(rmat_small), 3)
+        result = graph.parents(source=3)
+        validate_parent_tree(rmat_small, 3, result.parents, reference).raise_if_invalid()
+
+    def test_components_shorthand(self, graph, rmat_small):
+        from repro.baselines.union_find import serial_components
+
+        result = graph.components()
+        np.testing.assert_array_equal(result.labels, serial_components(rmat_small))
+
+    def test_khop_shorthand(self, graph, rmat_small):
+        reference = serial_bfs(CSRGraph.from_edgelist(rmat_small), 3)
+        result = graph.khop(source=3, max_hops=2)
+        expected = np.where((reference >= 0) & (reference <= 2), reference, -1)
+        np.testing.assert_array_equal(result.distances, expected)
+
+    def test_session_level_shorthands_build_implicitly(self, rmat_small):
+        sess = repro.session(layout="2x1x2").load(rmat_small).threshold(32)
+        assert sess.bfs(source=3).num_visited > 1
+        assert sess.components().num_components >= 1
+        assert sess.parents(source=3).parents[3] == 3
+        assert sess.khop(source=3, max_hops=1).num_reached >= 1
+        assert len(sess.campaign(sources=[0, 3])) == 2
+
+    def test_campaign_with_random_sources(self, graph):
+        campaign = graph.campaign(sources=4, seed=7)
+        assert len(campaign) == 4
+        assert len(campaign.reported) + len(campaign.skipped) == 4
+
+    def test_campaign_with_program_factory(self, graph):
+        campaign = graph.campaign(
+            sources=[0, 3], program_factory=lambda s: BFSParents(source=s)
+        )
+        assert all(r.algorithm == "bfs-parents" for r in campaign)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def engine(self, rmat_small, small_layout):
+        return TraversalEngine(build_partitions(rmat_small, small_layout, 32))
+
+    def test_sequence_protocol(self, engine):
+        campaign = run_campaign(engine, [0, 1, 2])
+        assert len(campaign) == 3
+        assert [r.source for r in campaign] == [0, 1, 2]
+        assert campaign[1].source == 1
+        assert isinstance(campaign[:2], list)
+
+    def test_run_many_returns_campaign(self, rmat_small, small_layout):
+        graph = build_partitions(rmat_small, small_layout, 32)
+        campaign = DistributedBFS(graph).run_many([0, 1, 2])
+        assert isinstance(campaign, Campaign)
+        assert len(campaign) == 3
+
+    def test_skips_single_iteration_runs(self, rmat_small, small_layout):
+        from repro.graph.degree import out_degrees
+
+        isolated = np.flatnonzero(out_degrees(rmat_small) == 0)
+        if isolated.size == 0:
+            pytest.skip("fixture graph has no isolated vertices")
+        graph = build_partitions(rmat_small, small_layout, 32)
+        campaign = DistributedBFS(graph).run_many([int(isolated[0]), 3])
+        assert len(campaign.skipped) == 1
+        assert len(campaign.reported) == 1
+        assert campaign.summary()["skipped"] == 1
+
+    def test_geo_mean_matches_manual(self, engine):
+        from repro.utils.stats import geometric_mean
+
+        campaign = run_campaign(engine, [0, 3, 7])
+        expected = geometric_mean([r.gteps() for r in campaign.reported])
+        assert campaign.geo_mean_gteps() == pytest.approx(expected)
+        assert campaign.geo_mean_elapsed_ms() > 0
+
+    def test_geo_mean_raises_when_all_skipped(self, rmat_small, small_layout):
+        from repro.graph.degree import out_degrees
+
+        isolated = np.flatnonzero(out_degrees(rmat_small) == 0)
+        if isolated.size == 0:
+            pytest.skip("fixture graph has no isolated vertices")
+        graph = build_partitions(rmat_small, small_layout, 32)
+        campaign = DistributedBFS(graph).run_many([int(isolated[0])])
+        with pytest.raises(ValueError):
+            campaign.geo_mean_gteps()
+        assert "geo_mean_gteps" not in campaign.summary()
+
+    def test_validate_callback_aborts(self, engine):
+        def explode(result):
+            raise AssertionError("boom")
+
+        with pytest.raises(AssertionError):
+            run_campaign(engine, [3], validate=explode)
+
+    def test_on_result_callback_sees_every_run(self, engine):
+        seen = []
+        run_campaign(engine, [0, 3], on_result=lambda r: seen.append(r.source))
+        assert seen == [0, 3]
+
+
+class TestEngineRunMany:
+    def test_run_many_programs(self, rmat_small, small_layout):
+        engine = TraversalEngine(build_partitions(rmat_small, small_layout, 32))
+        campaign = engine.run_many([BFSLevels(source=0), BFSParents(source=0)])
+        assert len(campaign) == 2
+        assert campaign[0].algorithm == "bfs"
+        assert campaign[1].algorithm == "bfs-parents"
