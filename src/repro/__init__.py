@@ -40,6 +40,7 @@ See ``examples/`` for end-to-end scripts and ``benchmarks/`` for the
 per-figure experiment harnesses.
 """
 
+from repro.bench import compare_artifacts, load_artifact, quick_scenarios, run_suite
 from repro.cluster import HardwareSpec, NetworkModel
 from repro.core import (
     BFSLevels,
@@ -101,6 +102,11 @@ __all__ = [
     "auto",
     # validation
     "validate_distances",
+    # benchmarking
+    "run_suite",
+    "quick_scenarios",
+    "compare_artifacts",
+    "load_artifact",
 ]
 
 __version__ = "2.0.0"

@@ -1,0 +1,249 @@
+"""The timed benchmark runner.
+
+:func:`run_scenario` materialises one :class:`repro.bench.scenarios.Scenario`
+— generate the graph, partition it, run the frontier program from each source
+— and measures three independent things:
+
+* **wall-clock seconds** of each pipeline phase (graph build, partitioning,
+  traversal) plus the traversal-internal phases the engine accounts
+  (kernels, nn exchange, delegate reductions).  Traversal phases take the
+  *minimum* over ``repeats`` identical passes, the usual noise filter for
+  micro-benchmarks;
+* the **modeled milliseconds** of the simulated cluster (the paper's metric),
+  summed over the scenario's sources; and
+* the **workload counters** — iterations, edges examined per kernel class,
+  communication volumes and a checksum of the answers — which are fully
+  deterministic.
+
+Determinism is asserted, not assumed: with ``check_determinism=True`` (the
+default whenever ``repeats >= 2``) the counters of every repeat are compared
+and any difference raises :class:`BenchDeterminismError`, because a
+non-reproducible workload would make every other number in the artifact
+meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.bench.artifact import new_artifact, save_artifact
+from repro.bench.scenarios import Scenario
+from repro.core.engine import TraversalEngine
+from repro.partition.delegates import suggest_threshold
+from repro.partition.layout import ClusterLayout
+from repro.partition.subgraphs import build_partitions
+from repro.utils.rng import hash64
+from repro.utils.timing import Timer, TimingBreakdown
+
+__all__ = [
+    "BenchDeterminismError",
+    "values_checksum",
+    "time_program",
+    "run_scenario",
+    "run_suite",
+]
+
+
+class BenchDeterminismError(AssertionError):
+    """Two passes over the same scenario produced different workload counters."""
+
+
+def values_checksum(result) -> int:
+    """Order-independent 64-bit checksum of a traversal result's answer.
+
+    Covers whichever per-vertex array the result carries (``distances``,
+    ``parents`` or ``labels``) so the comparator can prove two artifacts
+    describe the *same* traversal answers, not merely similar timings.
+    """
+    checksum = np.uint64(0)
+    for attr in ("distances", "parents", "labels"):
+        values = getattr(result, attr, None)
+        if values is None:
+            continue
+        values = np.asarray(values, dtype=np.int64)
+        # Hash (index, value) pairs so permutations do not collide.
+        mixed = hash64(
+            values.view(np.uint64) ^ hash64(np.arange(values.size, dtype=np.uint64))
+        )
+        checksum ^= np.bitwise_xor.reduce(mixed) if mixed.size else np.uint64(0)
+    return int(checksum)
+
+
+def _result_counters(result) -> dict:
+    """The deterministic portion of one traversal result."""
+    return {
+        "iterations": int(result.iterations),
+        "total_edges_examined": int(result.total_edges_examined),
+        "edges_by_kernel": {k: int(v) for k, v in sorted(result.workload_by_kernel().items())},
+        "comm": result.comm_stats.as_dict(),
+        "modeled_elapsed_ms": float(result.timing.elapsed_ms),
+        "values_checksum": values_checksum(result),
+    }
+
+
+def _merge_counters(per_source: list[dict]) -> dict:
+    """Aggregate per-source counters into one scenario-level record."""
+    merged = {
+        "runs": len(per_source),
+        "iterations": sum(c["iterations"] for c in per_source),
+        "total_edges_examined": sum(c["total_edges_examined"] for c in per_source),
+        "edges_by_kernel": {},
+        "comm": {},
+        "modeled_elapsed_ms": float(sum(c["modeled_elapsed_ms"] for c in per_source)),
+        "values_checksum": 0,
+    }
+    for i, counters in enumerate(per_source):
+        for kernel, edges in counters["edges_by_kernel"].items():
+            merged["edges_by_kernel"][kernel] = (
+                merged["edges_by_kernel"].get(kernel, 0) + edges
+            )
+        for key, value in counters["comm"].items():
+            merged["comm"][key] = merged["comm"].get(key, 0) + value
+        # Mix the run index into each checksum before folding: a bare XOR
+        # would cancel identical per-source checksums (sources are drawn with
+        # replacement, so collisions happen), silently blinding the
+        # counter-drift gate to answer changes.
+        merged["values_checksum"] ^= int(
+            hash64(np.uint64(counters["values_checksum"]), seed=i + 1)
+        )
+    return merged
+
+
+def time_program(
+    engine: TraversalEngine,
+    program_factory: Callable[[], object],
+    repeats: int = 3,
+    check_determinism: bool = True,
+) -> dict:
+    """Run one program ``repeats`` times; return wall phases + counters.
+
+    The returned record holds the per-phase wall minima (seconds), the modeled
+    time of one pass, and the deterministic counters — raising
+    :class:`BenchDeterminismError` if any repeat disagrees on the counters
+    (unless ``check_determinism`` is off).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    walls: list[dict] = []
+    counters: dict | None = None
+    timing: TimingBreakdown | None = None
+    for _ in range(repeats):
+        result = engine.run(program_factory())
+        walls.append(dict(result.wall_s))
+        current = _result_counters(result)
+        if counters is None:
+            counters, timing = current, result.timing
+        elif check_determinism and current != counters:
+            raise BenchDeterminismError(
+                "workload counters differ between two identical passes: "
+                f"{counters} vs {current}"
+            )
+    phases = sorted({phase for wall in walls for phase in wall})
+    return {
+        "wall_s": {phase: min(w.get(phase, 0.0) for w in walls) for phase in phases},
+        "modeled_ms": timing.as_dict(),
+        "counters": counters,
+    }
+
+
+def run_scenario(
+    spec: Scenario, repeats: int = 2, check_determinism: bool | None = None
+) -> dict:
+    """Execute one scenario end to end; return its artifact record.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    repeats:
+        Traversal passes per source; wall times keep the per-phase minimum.
+    check_determinism:
+        Assert counter equality across passes.  Defaults to ``repeats >= 2``
+        (a single pass has nothing to compare).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if check_determinism is None:
+        check_determinism = repeats >= 2
+    if check_determinism and repeats < 2:
+        raise ValueError("determinism checking needs at least two repeats")
+
+    with Timer() as build_timer:
+        edges = spec.build_edges()
+    layout = ClusterLayout.from_notation(spec.layout)
+    threshold = (
+        spec.threshold
+        if spec.threshold is not None
+        else suggest_threshold(edges, layout.num_gpus)
+    )
+    with Timer() as partition_timer:
+        graph = build_partitions(edges, layout, threshold)
+    engine = TraversalEngine(graph, options=spec.options)
+
+    sources = spec.pick_sources(edges)
+    wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0, "traversal": 0.0}
+    modeled = TimingBreakdown()
+    per_source_counters: list[dict] = []
+    for source in sources:
+        timed = time_program(
+            engine,
+            lambda: spec.make_program(source),
+            repeats=repeats,
+            check_determinism=check_determinism,
+        )
+        for phase, seconds in timed["wall_s"].items():
+            wall[phase] = wall.get(phase, 0.0) + seconds
+        modeled = modeled + TimingBreakdown(**timed["modeled_ms"])
+        per_source_counters.append(timed["counters"])
+
+    wall["graph_build"] = build_timer.elapsed
+    wall["partition"] = partition_timer.elapsed
+    wall["total"] = build_timer.elapsed + partition_timer.elapsed + wall["traversal"]
+    return {
+        "spec": spec.describe(),
+        "repeats": repeats,
+        "sources": sources,
+        "threshold_used": int(threshold),
+        "wall_s": {k: float(v) for k, v in sorted(wall.items())},
+        "modeled_ms": modeled.as_dict(),
+        "counters": _merge_counters(per_source_counters),
+    }
+
+
+def run_suite(
+    specs: Iterable[Scenario] | Sequence[Scenario],
+    label: str = "",
+    quick: bool = False,
+    repeats: int = 2,
+    out_path=None,
+    on_record: Callable[[str, dict], None] | None = None,
+) -> dict:
+    """Run a set of scenarios and assemble (optionally write) one artifact.
+
+    Parameters
+    ----------
+    specs:
+        Scenarios to execute, in order.
+    label:
+        Free-form snapshot description stored in the artifact.
+    quick:
+        Recorded in the artifact (CI smoke vs full sweep).
+    repeats:
+        Traversal passes per source per scenario.
+    out_path:
+        When given, the artifact is validated and written there as JSON.
+    on_record:
+        Progress callback invoked with ``(name, record)`` after each scenario.
+    """
+    records: dict[str, dict] = {}
+    for spec in specs:
+        record = run_scenario(spec, repeats=repeats)
+        records[spec.name] = record
+        if on_record is not None:
+            on_record(spec.name, record)
+    artifact = new_artifact(records, label=label, quick=quick)
+    if out_path is not None:
+        save_artifact(artifact, out_path)
+    return artifact

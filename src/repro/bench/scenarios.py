@@ -1,0 +1,239 @@
+"""The benchmark scenario registry.
+
+A :class:`Scenario` pins *everything* that affects a measurement: the graph
+family and size, the RNG seeds (all drawn through :mod:`repro.utils.rng`, so
+two runs of the same scenario produce bit-identical graphs, sources and
+traversals on any machine), the cluster layout, the degree threshold, the
+frontier program and the engine option set.
+
+The registry spans the axes the paper's evaluation varies:
+
+* **graph families** — Graph500 RMAT at several scales, uniform (Erdős–Rényi
+  style) graphs, and the long-tail WDC-like web graph whose BFS runs for many
+  thin iterations;
+* **all four shipped frontier programs** — BFS levels, BFS parent trees,
+  connected components, k-hop reachability;
+* **the BFS option grid** — direction optimization on/off, blocking vs
+  non-blocking delegate reduction (BR/IR), local-all2all + uniquify, and a
+  sweep of delegate thresholds (which moves work between the nn exchange and
+  the delegate reductions).
+
+Scenarios flagged ``quick`` form the CI smoke subset (small scales, a couple
+of seconds each); the rest only run in full sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.options import BFSOptions
+from repro.core.programs import (
+    BFSLevels,
+    BFSParents,
+    ConnectedComponents,
+    KHopReachability,
+)
+from repro.graph.degree import out_degrees
+from repro.graph.edgelist import EdgeList
+from repro.utils.rng import random_sources
+
+__all__ = ["Scenario", "REGISTRY", "registry", "quick_scenarios", "find_scenarios"]
+
+#: Frontier-program constructors by registry name.  Single-source programs
+#: receive the scenario's source vertex; ``components`` ignores it.
+PROGRAMS = ("levels", "parents", "components", "khop")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-pinned benchmark configuration."""
+
+    name: str
+    #: Graph family: ``rmat``, ``uniform`` or ``wdc``.
+    kind: str
+    #: log2 of the vertex count.
+    scale: int
+    #: Frontier program to run (one of :data:`PROGRAMS`).
+    program: str
+    #: Engine options.
+    options: BFSOptions = field(default_factory=BFSOptions)
+    #: Cluster geometry in the CLI's notation.
+    layout: str = "4x1x2"
+    #: Degree threshold TH; ``None`` uses the paper's suggestion.
+    threshold: int | None = None
+    #: Graph-generation seed (fed to :func:`repro.utils.rng.make_rng`).
+    seed: int = 11
+    #: How many traversal sources to run (components runs once regardless).
+    sources: int = 2
+    #: Hop cap for the khop program.
+    max_hops: int = 3
+    #: Whether this scenario belongs to the CI smoke subset.
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.program not in PROGRAMS:
+            raise ValueError(
+                f"unknown program {self.program!r}; expected one of {PROGRAMS}"
+            )
+        if self.kind not in ("rmat", "uniform", "wdc"):
+            raise ValueError(f"unknown graph kind {self.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def build_edges(self) -> EdgeList:
+        """Generate this scenario's (prepared) edge list deterministically."""
+        if self.kind == "rmat":
+            from repro.graph.rmat import generate_rmat
+
+            return generate_rmat(self.scale, rng=self.seed)
+        if self.kind == "uniform":
+            from repro.graph.generators import uniform_random_graph
+
+            n = 1 << self.scale
+            return uniform_random_graph(n, num_edges=8 * n, rng=self.seed).prepared()
+        from repro.graph.generators import wdc_like
+
+        return wdc_like(num_vertices=1 << self.scale, rng=self.seed).prepared()
+
+    def pick_sources(self, edges: EdgeList) -> list[int]:
+        """Draw the scenario's traversal sources (degree-filtered, seeded)."""
+        if self.program == "components":
+            return [0]
+        picked = random_sources(
+            edges.num_vertices, self.sources, rng=self.seed + 1, degrees=out_degrees(edges)
+        )
+        return [int(s) for s in picked]
+
+    def make_program(self, source: int):
+        """Instantiate the frontier program for one source."""
+        if self.program == "levels":
+            return BFSLevels(source=source)
+        if self.program == "parents":
+            return BFSParents(source=source)
+        if self.program == "khop":
+            return KHopReachability(source=source, max_hops=self.max_hops)
+        return ConnectedComponents()
+
+    def describe(self) -> dict:
+        """JSON-stable description embedded in artifacts (spec identity)."""
+        return {
+            "kind": self.kind,
+            "scale": self.scale,
+            "program": self.program,
+            "options": self.options.label(),
+            "layout": self.layout,
+            "threshold": self.threshold,
+            "seed": self.seed,
+            "sources": self.sources if self.program != "components" else 1,
+            "max_hops": self.max_hops if self.program == "khop" else None,
+        }
+
+
+def _options(**kwargs) -> BFSOptions:
+    return BFSOptions(**kwargs)
+
+
+def _build_registry() -> tuple[Scenario, ...]:
+    quick_scale = 14
+    scenarios = [
+        # --- program coverage on the paper's main configuration ---------- #
+        Scenario("rmat14-levels-do-br", "rmat", quick_scale, "levels", quick=True),
+        Scenario("rmat14-parents-do-br", "rmat", quick_scale, "parents", quick=True),
+        Scenario("rmat14-components", "rmat", quick_scale, "components", quick=True),
+        Scenario("rmat14-khop3", "rmat", quick_scale, "khop", quick=True),
+        # --- BFS option grid --------------------------------------------- #
+        Scenario(
+            "rmat14-levels-plain-br",
+            "rmat",
+            quick_scale,
+            "levels",
+            options=_options(direction_optimized=False),
+            quick=True,
+        ),
+        Scenario(
+            "rmat14-levels-do-ir",
+            "rmat",
+            quick_scale,
+            "levels",
+            options=_options(blocking_reduce=False),
+            quick=True,
+        ),
+        Scenario(
+            "rmat14-levels-do-lu-br",
+            "rmat",
+            quick_scale,
+            "levels",
+            options=_options(local_all2all=True, uniquify=True),
+            quick=True,
+        ),
+        # --- delegate-threshold sweep (shifts exchange vs reduce work) --- #
+        Scenario(
+            "rmat14-levels-do-br-th4", "rmat", quick_scale, "levels", threshold=4, quick=True
+        ),
+        Scenario(
+            "rmat14-levels-do-br-th256",
+            "rmat",
+            quick_scale,
+            "levels",
+            threshold=256,
+            quick=True,
+        ),
+        # --- other graph families ---------------------------------------- #
+        Scenario("uniform14-levels-do-br", "uniform", quick_scale, "levels", quick=True),
+        Scenario("wdc14-levels-do-br", "wdc", quick_scale, "levels", quick=True),
+        Scenario(
+            "rmat15-levels-do-br", "rmat", 15, "levels", quick=True
+        ),
+        # --- full-sweep-only scenarios (bigger scales, more sources) ----- #
+        Scenario("rmat16-levels-do-br", "rmat", 16, "levels", sources=4),
+        Scenario("rmat16-parents-do-br", "rmat", 16, "parents", sources=4),
+        Scenario("rmat16-components", "rmat", 16, "components"),
+        Scenario(
+            "rmat16-levels-plain-br",
+            "rmat",
+            16,
+            "levels",
+            options=_options(direction_optimized=False),
+            sources=4,
+        ),
+        Scenario("uniform16-levels-do-br", "uniform", 16, "levels", sources=4),
+        Scenario("wdc16-levels-do-br", "wdc", 16, "levels", sources=4),
+        Scenario("rmat17-levels-do-br", "rmat", 17, "levels", sources=4),
+    ]
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):  # pragma: no cover - registry typo guard
+        raise AssertionError("duplicate scenario names in the bench registry")
+    return tuple(scenarios)
+
+
+#: The full, ordered scenario registry.
+REGISTRY: tuple[Scenario, ...] = _build_registry()
+
+
+def registry() -> tuple[Scenario, ...]:
+    """All registered scenarios, in definition order."""
+    return REGISTRY
+
+
+def quick_scenarios() -> tuple[Scenario, ...]:
+    """The CI smoke subset (small scales, a few seconds total)."""
+    return tuple(s for s in REGISTRY if s.quick)
+
+
+def find_scenarios(names: list[str]) -> tuple[Scenario, ...]:
+    """Resolve scenario names, preserving registry order.
+
+    Raises
+    ------
+    KeyError
+        Naming every unknown scenario (with the valid names listed).
+    """
+    by_name = {s.name: s for s in REGISTRY}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {unknown}; valid names: {sorted(by_name)}"
+        )
+    wanted = set(names)
+    return tuple(s for s in REGISTRY if s.name in wanted)

@@ -17,10 +17,16 @@ downstream user needs without writing Python:
 ``python -m repro.cli census``
     Print the Figure-5 style edge-category census for a sweep of degree
     thresholds, plus the suggested threshold for a given GPU count.
+``python -m repro.cli bench``
+    The benchmark & perf-regression harness: ``bench list`` names the
+    registered scenarios, ``bench run`` times them and writes a
+    ``BENCH_<timestamp>.json`` artifact, ``bench compare`` diffs two
+    artifacts and exits non-zero on regressions or counter drift (the CI
+    perf gate).
 
-All subcommands accept either ``--npz PATH`` (a previously generated graph) or
-``--scale N`` (generate an RMAT graph on the fly); ``bfs``, ``components``
-and ``census`` accept ``--json`` for machine-readable output.
+All graph subcommands accept either ``--npz PATH`` (a previously generated
+graph) or ``--scale N`` (generate an RMAT graph on the fly); ``bfs``,
+``components`` and ``census`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -79,6 +85,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(census)
     census.add_argument("--gpus", type=int, default=8, help="GPU count for the TH suggestion")
     census.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    bench = sub.add_parser("bench", help="benchmark harness and perf-regression gate")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    b_list = bench_sub.add_parser("list", help="list registered benchmark scenarios")
+    b_list.add_argument("--quick", action="store_true", help="only the CI smoke subset")
+    b_list.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    b_run = bench_sub.add_parser("run", help="time scenarios and write a BENCH artifact")
+    b_run.add_argument("--quick", action="store_true", help="run the CI smoke subset")
+    b_run.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run a specific scenario (repeatable); default: the full registry",
+    )
+    b_run.add_argument(
+        "--repeats", type=int, default=3, help="traversal passes per source (wall = min)"
+    )
+    b_run.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="artifact path (default: BENCH_<timestamp>.json in the cwd)",
+    )
+    b_run.add_argument("--label", default="", help="free-form snapshot label")
+    b_run.add_argument("--json", action="store_true", help="print the artifact to stdout")
+
+    b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
+    b_cmp.add_argument("old", type=Path, help="baseline artifact")
+    b_cmp.add_argument("new", type=Path, help="candidate artifact")
+    b_cmp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative wall-clock noise band (0.2 = ±20%%)",
+    )
+    b_cmp.add_argument(
+        "--min-delta-ms",
+        type=float,
+        default=10.0,
+        help="absolute wall-clock noise floor; smaller deltas are never flagged",
+    )
+    b_cmp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     return parser
 
@@ -337,6 +388,114 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "list":
+        return _cmd_bench_list(args)
+    if args.bench_command == "run":
+        return _cmd_bench_run(args)
+    if args.bench_command == "compare":
+        return _cmd_bench_compare(args)
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")  # pragma: no cover
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import quick_scenarios, registry
+
+    specs = quick_scenarios() if args.quick else registry()
+    if args.json:
+        print(
+            json.dumps(
+                [{"name": s.name, "quick": s.quick, **s.describe()} for s in specs],
+                indent=2,
+            )
+        )
+        return 0
+    print(f"{'name':<28} {'quick':>5}  {'graph':<12} {'program':<10} {'options':<10} TH")
+    for s in specs:
+        th = "auto" if s.threshold is None else str(s.threshold)
+        print(
+            f"{s.name:<28} {'yes' if s.quick else 'no':>5}  "
+            f"{s.kind + str(s.scale):<12} {s.program:<10} {s.options.label():<10} {th}"
+        )
+    print(f"{len(specs)} scenario(s)")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        default_artifact_path,
+        find_scenarios,
+        quick_scenarios,
+        registry,
+        run_suite,
+    )
+
+    if args.scenario:
+        specs = find_scenarios(args.scenario)
+        if args.quick:
+            specs = tuple(s for s in specs if s.quick)
+            if not specs:
+                print(
+                    "error: none of the named scenarios belong to the quick subset "
+                    "(drop --quick to run them)",
+                    file=sys.stderr,
+                )
+                return 2
+    elif args.quick:
+        specs = quick_scenarios()
+    else:
+        specs = registry()
+    out_path = args.output if args.output is not None else default_artifact_path()
+
+    def progress(name: str, record: dict) -> None:
+        if args.json:
+            return
+        wall = record["wall_s"]
+        print(
+            f"  {name:<28} traversal {wall['traversal'] * 1e3:8.2f} ms wall "
+            f"(build {wall['graph_build']:.2f} s, partition {wall['partition']:.2f} s) "
+            f"modeled {record['modeled_ms']['elapsed_ms']:.3f} ms, "
+            f"{record['counters']['total_edges_examined']:,} edges examined"
+        )
+
+    if not args.json:
+        print(f"running {len(specs)} scenario(s), repeats={args.repeats}")
+    artifact = run_suite(
+        specs,
+        label=args.label,
+        quick=bool(args.quick),
+        repeats=args.repeats,
+        out_path=out_path,
+        on_record=progress,
+    )
+    if args.json:
+        print(json.dumps(artifact, indent=2))
+    else:
+        print(f"wrote {out_path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import BenchArtifactError, compare_artifacts, load_artifact
+
+    try:
+        old = load_artifact(args.old)
+        new = load_artifact(args.new)
+        report = compare_artifacts(
+            old, new, tolerance=args.tolerance, min_delta_s=args.min_delta_ms / 1e3
+        )
+    except BenchArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(f"comparing {args.old} -> {args.new}")
+        for line in report.summary_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -348,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_components(args)
     if args.command == "census":
         return _cmd_census(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

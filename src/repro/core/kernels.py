@@ -80,10 +80,21 @@ def filter_frontier(frontier: np.ndarray, out_degrees: np.ndarray) -> np.ndarray
     This mirrors the paper's previsit kernels, which "mark level labels for
     input vertices, filter out duplicates and zero-out-degree vertices, and
     form the queues of vertices to be visited by the visit kernels".
+
+    Dense frontiers deduplicate through a scatter into a boolean flag array
+    (one linear pass, like the GPU previsit bitmap) instead of sorting/hashing
+    with ``np.unique``; tiny frontiers keep the ``np.unique`` path, where the
+    flag array's O(num_rows) cost would dominate.  Both return the same
+    sorted, unique, positive-degree queue.
     """
     frontier = np.asarray(frontier, dtype=np.int64).ravel()
     if frontier.size == 0:
         return frontier
+    if frontier.size * 16 >= out_degrees.size:
+        flags = np.zeros(out_degrees.size, dtype=bool)
+        flags[frontier] = True
+        flags &= out_degrees > 0
+        return np.flatnonzero(flags)
     unique = np.unique(frontier)
     return unique[out_degrees[unique] > 0]
 
@@ -168,24 +179,15 @@ def backward_visit(
     seg_starts = np.zeros(seg_lengths.size, dtype=np.int64)
     np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
 
-    positions = np.arange(hits.size, dtype=np.int64)
-    seg_of_edge = np.repeat(np.arange(seg_lengths.size, dtype=np.int64), seg_lengths)
-    within = positions - seg_starts[seg_of_edge]
+    # First-hit position per segment: a segmented minimum over the within-
+    # segment offsets of hit edges, with non-hits masked to a sentinel larger
+    # than any offset.  One reduceat pass over the edges — no per-hit sort.
+    no_hit = np.iinfo(np.int64).max
+    within = np.arange(hits.size, dtype=np.int64) - np.repeat(seg_starts, seg_lengths)
+    first_hit = np.minimum.reduceat(np.where(hits, within, no_hit), seg_starts)
 
-    # First-hit position per segment: minimum `within` over hit edges.
-    first_hit = np.full(seg_lengths.size, -1, dtype=np.int64)
-    if np.any(hits):
-        hit_seg = seg_of_edge[hits]
-        hit_within = within[hits]
-        order = np.lexsort((hit_within, hit_seg))
-        hit_seg_sorted = hit_seg[order]
-        hit_within_sorted = hit_within[order]
-        seg_first_idx = np.ones(hit_seg_sorted.size, dtype=bool)
-        seg_first_idx[1:] = hit_seg_sorted[1:] != hit_seg_sorted[:-1]
-        first_hit[hit_seg_sorted[seg_first_idx]] = hit_within_sorted[seg_first_idx]
-
-    found = first_hit >= 0
-    examined = np.where(found, first_hit + 1, seg_lengths)
+    found = first_hit != no_hit
+    examined = np.where(found, first_hit, seg_lengths - 1) + 1
     discovered = seg_candidates[found]
     # The early-exit scan stops at the first frontier parent; that parent is
     # the discovering source of the candidate (the edge at offset first_hit

@@ -82,6 +82,11 @@ class TraversalResult:
     total_edges_examined: int
     #: Directed edges of the input graph (for default TEPS accounting).
     num_directed_edges: int
+    #: Wall-clock seconds the *simulation itself* spent, per engine phase
+    #: (``kernels``, ``exchange``, ``delegate_reduce``, ``traversal``).  This
+    #: is real time of the Python reproduction — the quantity the bench
+    #: harness tracks — not the modeled cluster time above.
+    wall_s: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

@@ -211,6 +211,11 @@ class Session:
         """Build (if needed) and run a multi-source campaign."""
         return self.build().campaign(*args, **kwargs)
 
+    def bench(self, *args, **kwargs) -> dict:
+        """Build (if needed) and wall-clock benchmark a program; see
+        :meth:`GraphSession.bench`."""
+        return self.build().bench(*args, **kwargs)
+
 
 class GraphSession:
     """A partitioned graph bound to a traversal engine, with shorthands."""
@@ -276,4 +281,33 @@ class GraphSession:
             program_factory=program_factory,
             validate=validate,
             on_result=on_result,
+        )
+
+    def bench(
+        self,
+        program: FrontierProgram | None = None,
+        repeats: int = 3,
+        check_determinism: bool = True,
+    ) -> dict:
+        """Wall-clock benchmark one program on this graph.
+
+        Runs ``program`` (default: BFS levels from vertex 0) ``repeats``
+        times through :func:`repro.bench.runner.time_program`, asserting that
+        every pass produces identical workload counters, and returns the
+        record: per-phase wall-clock minima in seconds (``wall_s``), modeled
+        times (``modeled_ms``) and the deterministic ``counters``.
+
+        >>> import repro  # doctest: +SKIP
+        >>> repro.session().generate(scale=12).bench()["wall_s"]["traversal"] > 0
+        True
+        """
+        from repro.bench.runner import time_program
+
+        if program is None:
+            program = BFSLevels(source=0)
+        return time_program(
+            self.engine,
+            lambda: program,
+            repeats=repeats,
+            check_determinism=check_determinism,
         )

@@ -150,11 +150,26 @@ class Bitmask:
         return bool(self._bits[index >> 3] & np.uint8(1 << (index & 7)))
 
     def set_many(self, indices: np.ndarray) -> None:
-        """Set many bit positions at once (vectorized)."""
+        """Set many bit positions at once (vectorized).
+
+        Dense updates (a sizable fraction of the mask) scatter into a boolean
+        flag array and OR the packed bytes in — two linear passes — because
+        ``np.bitwise_or.at`` runs an unbuffered per-element inner loop that is
+        orders of magnitude slower on large index sets.  Sparse updates keep
+        the per-index path, where the flag array's O(size) cost would
+        dominate.
+        """
         idx = np.asarray(indices, dtype=np.int64).ravel()
         if idx.size == 0:
             return
         self._check_bounds(idx)
+        if idx.size * 64 >= self._size:
+            flags = np.zeros(self._bits.size * 8, dtype=bool)
+            flags[idx] = True
+            np.bitwise_or(
+                self._bits, np.packbits(flags, bitorder="little"), out=self._bits
+            )
+            return
         byte_idx = idx >> 3
         bit_vals = np.left_shift(np.uint8(1), (idx & 7).astype(np.uint8))
         np.bitwise_or.at(self._bits, byte_idx, bit_vals)
