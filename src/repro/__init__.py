@@ -14,7 +14,11 @@ Beyond the paper, the traversal core is an algorithm-agnostic
 :class:`TraversalEngine` executing pluggable :class:`FrontierProgram` s
 (Gunrock-style operator decomposition): BFS hop levels, Graph500 parent
 trees, connected components and k-hop reachability all share the
-partitioner, the communication channels and the performance model.
+partitioner, the communication channels and the performance model.  The
+engine also runs MS-BFS-style *batches* — B sources through one frontier
+sweep with per-vertex lane bitsets — and :mod:`repro.serve` builds a
+query-serving layer on top (admission coalescing, LRU result cache,
+queries/second benchmarks).
 
 Quickstart (fluent API)
 -----------------------
@@ -43,6 +47,9 @@ per-figure experiment harnesses.
 from repro.bench import compare_artifacts, load_artifact, quick_scenarios, run_suite
 from repro.cluster import HardwareSpec, NetworkModel
 from repro.core import (
+    BatchedBFSLevels,
+    BatchedReachability,
+    BatchResult,
     BFSLevels,
     BFSOptions,
     BFSParents,
@@ -61,6 +68,7 @@ from repro.core import (
 )
 from repro.graph import EdgeList, friendster_like, generate_rmat, wdc_like
 from repro.partition import ClusterLayout, build_partitions, suggest_threshold
+from repro.serve import Query, QueryService, ZipfWorkload
 from repro.session import GraphSession, Session, auto, session
 from repro.validate import validate_distances
 
@@ -83,14 +91,21 @@ __all__ = [
     "BFSParents",
     "ConnectedComponents",
     "KHopReachability",
+    "BatchedBFSLevels",
+    "BatchedReachability",
     # results
     "TraversalResult",
     "BFSResult",
     "ParentTreeResult",
     "ComponentsResult",
     "ReachabilityResult",
+    "BatchResult",
     "Campaign",
     "run_campaign",
+    # serving
+    "QueryService",
+    "Query",
+    "ZipfWorkload",
     # options + hardware
     "BFSOptions",
     "HardwareSpec",
@@ -109,4 +124,34 @@ __all__ = [
     "load_artifact",
 ]
 
-__version__ = "2.0.0"
+def _detect_version() -> str:
+    """The package version, sourced from the project metadata.
+
+    A source checkout (``PYTHONPATH=src``) reads the sibling
+    ``pyproject.toml`` directly — parsed with a regex because Python 3.10
+    lacks :mod:`tomllib`, and *before* consulting installed metadata, which
+    could belong to an older installed copy of the package rather than the
+    code actually running.  Installed packages have no adjacent pyproject
+    and fall through to :func:`importlib.metadata.version`.
+    """
+    try:
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), flags=re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass  # no adjacent pyproject.toml: running from an installed package
+    try:
+        from importlib.metadata import version
+
+        return version("repro-dobfs-gpu-cluster")
+    except Exception:  # pragma: no cover - neither checkout nor installed
+        return "0.0.0+unknown"
+
+
+__version__ = _detect_version()

@@ -90,10 +90,22 @@ class CompareReport:
         """No regression and no counter drift (the CI gate's pass condition)."""
         return not self.regressions and not self.counter_drifts
 
+    @property
+    def counters_ok(self) -> bool:
+        """No counter drift (the *blocking* half of the CI gate).
+
+        Counter drift means the traversal behaved differently — a
+        correctness-level finding that must block, while wall-clock
+        regressions on foreign hardware only warn; ``repro bench compare
+        --fail-on counters`` keys its exit code on this property.
+        """
+        return not self.counter_drifts
+
     def as_dict(self) -> dict:
         return {
             "tolerance": self.tolerance,
             "ok": self.ok,
+            "counters_ok": self.counters_ok,
             "regressions": len(self.regressions),
             "improvements": len(self.improvements),
             "counter_drifts": len(self.counter_drifts),

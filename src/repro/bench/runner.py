@@ -42,6 +42,7 @@ __all__ = [
     "values_checksum",
     "time_program",
     "run_scenario",
+    "run_serve_scenario",
     "run_suite",
 ]
 
@@ -148,8 +149,114 @@ def time_program(
     }
 
 
+def run_serve_scenario(
+    spec: Scenario,
+    repeats: int = 2,
+    check_determinism: bool = True,
+    serve_batched: bool = True,
+) -> dict:
+    """Execute one serving scenario: replay its query stream, measure qps.
+
+    Each repeat runs the full closed-loop stream through a *fresh*
+    :class:`repro.serve.QueryService` (so cache state never leaks between
+    passes); wall time keeps the fastest pass.  The counters — query,
+    coalescing and cache statistics plus an order-mixed checksum of every
+    answer — are deterministic and, by construction, identical whether the
+    service batches or runs sequentially (``serve_batched=False``), which is
+    what makes a before/after artifact pair cleanly comparable.
+    """
+    from repro.serve.service import QueryService
+
+    with Timer() as build_timer:
+        edges = spec.build_edges()
+    layout = ClusterLayout.from_notation(spec.layout)
+    threshold = (
+        spec.threshold
+        if spec.threshold is not None
+        else suggest_threshold(edges, layout.num_gpus)
+    )
+    with Timer() as partition_timer:
+        graph = build_partitions(edges, layout, threshold)
+    engine = TraversalEngine(graph, options=spec.options)
+
+    from repro.graph.degree import out_degrees
+
+    workload = spec.workload()
+    stream = workload.generate(edges.num_vertices, degrees=out_degrees(edges))
+
+    walls: list[float] = []
+    counters: dict | None = None
+    modeled_ms = 0.0
+    throughput: dict | None = None
+    for _ in range(repeats):
+        service = QueryService(
+            engine,
+            batch_size=spec.batch_size,
+            cache_size=spec.cache_size,
+            batched=serve_batched,
+        )
+        results = service.serve(stream)
+        checksum = 0
+        modeled = 0.0
+        seen: set[int] = set()
+        for i, result in enumerate(results):
+            checksum ^= int(hash64(np.uint64(values_checksum(result)), seed=i + 1))
+            if id(result) not in seen:
+                seen.add(id(result))
+                modeled += float(result.timing.elapsed_ms)
+        current = {
+            "queries": service.stats.queries,
+            "flushes": service.stats.flushes,
+            "coalesced": service.stats.coalesced,
+            "cache_hits": service.cache.stats.hits,
+            "cache_misses": service.cache.stats.misses,
+            "cache_evictions": service.cache.stats.evictions,
+            "answers_checksum": checksum,
+        }
+        if counters is None:
+            counters = current
+            modeled_ms = modeled
+            throughput = {
+                "queries": service.stats.queries,
+                "batched": bool(serve_batched),
+                "batch_size": spec.batch_size,
+                "traversals": service.stats.traversals,
+                "batches": service.stats.batches,
+            }
+        elif check_determinism and current != counters:
+            raise BenchDeterminismError(
+                "serving counters differ between two identical passes: "
+                f"{counters} vs {current}"
+            )
+        walls.append(service.stats.wall_s)
+
+    serve_wall = min(walls)
+    throughput["queries_per_sec"] = (
+        throughput["queries"] / serve_wall if serve_wall > 0 else 0.0
+    )
+    wall = {
+        "graph_build": build_timer.elapsed,
+        "partition": partition_timer.elapsed,
+        "traversal": serve_wall,
+        "total": build_timer.elapsed + partition_timer.elapsed + serve_wall,
+    }
+    return {
+        "spec": spec.describe(),
+        "repeats": repeats,
+        "threshold_used": int(threshold),
+        "workload": workload.describe(),
+        "wall_s": {k: float(v) for k, v in sorted(wall.items())},
+        "modeled_ms": {"elapsed_ms": modeled_ms},
+        "counters": counters,
+        "throughput": throughput,
+    }
+
+
 def run_scenario(
-    spec: Scenario, repeats: int = 2, check_determinism: bool | None = None
+    spec: Scenario,
+    repeats: int = 2,
+    check_determinism: bool | None = None,
+    serve_batched: bool = True,
 ) -> dict:
     """Execute one scenario end to end; return its artifact record.
 
@@ -162,6 +269,9 @@ def run_scenario(
     check_determinism:
         Assert counter equality across passes.  Defaults to ``repeats >= 2``
         (a single pass has nothing to compare).
+    serve_batched:
+        For serving scenarios only: route misses through the batched MS-BFS
+        path (the default) or the sequential baseline.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -169,6 +279,13 @@ def run_scenario(
         check_determinism = repeats >= 2
     if check_determinism and repeats < 2:
         raise ValueError("determinism checking needs at least two repeats")
+    if spec.program == "serve":
+        return run_serve_scenario(
+            spec,
+            repeats=repeats,
+            check_determinism=check_determinism,
+            serve_batched=serve_batched,
+        )
 
     with Timer() as build_timer:
         edges = spec.build_edges()
@@ -219,6 +336,7 @@ def run_suite(
     repeats: int = 2,
     out_path=None,
     on_record: Callable[[str, dict], None] | None = None,
+    serve_batched: bool = True,
 ) -> dict:
     """Run a set of scenarios and assemble (optionally write) one artifact.
 
@@ -236,10 +354,13 @@ def run_suite(
         When given, the artifact is validated and written there as JSON.
     on_record:
         Progress callback invoked with ``(name, record)`` after each scenario.
+    serve_batched:
+        Serving scenarios only: batched service (default) or the sequential
+        baseline (the "before" half of a before/after artifact pair).
     """
     records: dict[str, dict] = {}
     for spec in specs:
-        record = run_scenario(spec, repeats=repeats)
+        record = run_scenario(spec, repeats=repeats, serve_batched=serve_batched)
         records[spec.name] = record
         if on_record is not None:
             on_record(spec.name, record)

@@ -20,6 +20,15 @@ The registry spans the axes the paper's evaluation varies:
 
 Scenarios flagged ``quick`` form the CI smoke subset (small scales, a couple
 of seconds each); the rest only run in full sweeps.
+
+Beyond the traversal scenarios, the registry carries **serving** scenarios
+(``program="serve"``): a deterministic Zipf-skewed query stream replayed
+through :class:`repro.serve.QueryService` over the scenario's graph, swept
+across batch sizes and skews.  Their headline metric is queries/second
+(recorded in the artifact's ``throughput`` section); their counters — query,
+coalescing and cache statistics plus an answer checksum — are independent of
+whether the service batches, so a sequential-baseline artifact and a batched
+artifact of the same scenario differ only in wall time.
 """
 
 from __future__ import annotations
@@ -40,8 +49,9 @@ from repro.utils.rng import random_sources
 __all__ = ["Scenario", "REGISTRY", "registry", "quick_scenarios", "find_scenarios"]
 
 #: Frontier-program constructors by registry name.  Single-source programs
-#: receive the scenario's source vertex; ``components`` ignores it.
-PROGRAMS = ("levels", "parents", "components", "khop")
+#: receive the scenario's source vertex; ``components`` ignores it;
+#: ``serve`` scenarios replay a query stream through the serving layer.
+PROGRAMS = ("levels", "parents", "components", "khop", "serve")
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,17 @@ class Scenario:
     max_hops: int = 3
     #: Whether this scenario belongs to the CI smoke subset.
     quick: bool = False
+    # --- serving scenarios only (program == "serve") ------------------- #
+    #: Lanes per fused MS-BFS sweep.
+    batch_size: int = 32
+    #: Zipf exponent of the query stream's source popularity.
+    zipf_skew: float = 1.0
+    #: Query stream length.
+    num_queries: int = 256
+    #: Candidate source pool the Zipf ranks map onto.
+    pool: int = 192
+    #: LRU result-cache capacity.
+    cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.program not in PROGRAMS:
@@ -77,6 +98,8 @@ class Scenario:
             )
         if self.kind not in ("rmat", "uniform", "wdc"):
             raise ValueError(f"unknown graph kind {self.kind!r}")
+        if self.program == "serve" and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -107,6 +130,11 @@ class Scenario:
 
     def make_program(self, source: int):
         """Instantiate the frontier program for one source."""
+        if self.program == "serve":
+            raise ValueError(
+                "serve scenarios replay a query stream through the service; "
+                "they have no single frontier program"
+            )
         if self.program == "levels":
             return BFSLevels(source=source)
         if self.program == "parents":
@@ -115,9 +143,22 @@ class Scenario:
             return KHopReachability(source=source, max_hops=self.max_hops)
         return ConnectedComponents()
 
+    def workload(self):
+        """The pinned query stream of a serving scenario."""
+        if self.program != "serve":
+            raise ValueError(f"scenario {self.name!r} is not a serving scenario")
+        from repro.serve.workload import ZipfWorkload
+
+        return ZipfWorkload(
+            num_queries=self.num_queries,
+            skew=self.zipf_skew,
+            pool=self.pool,
+            seed=self.seed + 2,
+        )
+
     def describe(self) -> dict:
         """JSON-stable description embedded in artifacts (spec identity)."""
-        return {
+        base = {
             "kind": self.kind,
             "scale": self.scale,
             "program": self.program,
@@ -128,6 +169,17 @@ class Scenario:
             "sources": self.sources if self.program != "components" else 1,
             "max_hops": self.max_hops if self.program == "khop" else None,
         }
+        if self.program == "serve":
+            base.update(
+                {
+                    "batch_size": self.batch_size,
+                    "zipf_skew": self.zipf_skew,
+                    "num_queries": self.num_queries,
+                    "pool": self.pool,
+                    "cache_size": self.cache_size,
+                }
+            )
+        return base
 
 
 def _options(**kwargs) -> BFSOptions:
@@ -184,6 +236,45 @@ def _build_registry() -> tuple[Scenario, ...]:
         Scenario("wdc14-levels-do-br", "wdc", quick_scale, "levels", quick=True),
         Scenario(
             "rmat15-levels-do-br", "rmat", 15, "levels", quick=True
+        ),
+        # --- serving throughput (batch-size sweep x Zipf skew) ------------ #
+        # Headline metric: queries/second of a Zipf-skewed stream through
+        # QueryService (admission coalescing + LRU cache + MS-BFS batches).
+        Scenario(
+            "serve-rmat14-b16-zipf1.0",
+            "rmat",
+            quick_scale,
+            "serve",
+            batch_size=16,
+            zipf_skew=1.0,
+            quick=True,
+        ),
+        Scenario(
+            "serve-rmat14-b32-zipf1.0",
+            "rmat",
+            quick_scale,
+            "serve",
+            batch_size=32,
+            zipf_skew=1.0,
+            quick=True,
+        ),
+        Scenario(
+            "serve-rmat14-b32-zipf0.5",
+            "rmat",
+            quick_scale,
+            "serve",
+            batch_size=32,
+            zipf_skew=0.5,
+            quick=True,
+        ),
+        Scenario(
+            "serve-rmat14-b16-uniform",
+            "rmat",
+            quick_scale,
+            "serve",
+            batch_size=16,
+            zipf_skew=0.0,
+            quick=True,
         ),
         # --- full-sweep-only scenarios (bigger scales, more sources) ----- #
         Scenario("rmat16-levels-do-br", "rmat", 16, "levels", sources=4),

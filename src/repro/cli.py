@@ -22,11 +22,17 @@ downstream user needs without writing Python:
     registered scenarios, ``bench run`` times them and writes a
     ``BENCH_<timestamp>.json`` artifact, ``bench compare`` diffs two
     artifacts and exits non-zero on regressions or counter drift (the CI
-    perf gate).
+    perf gate; ``--fail-on counters`` keys the exit code on drift alone,
+    the blocking half of the gate).
+``python -m repro.cli serve``
+    The query-serving subsystem: ``serve bench`` replays a deterministic
+    Zipf-skewed query stream through the batched :class:`QueryService` and
+    the sequential baseline, reporting queries/second for both.
 
 All graph subcommands accept either ``--npz PATH`` (a previously generated
 graph) or ``--scale N`` (generate an RMAT graph on the fly); ``bfs``,
-``components`` and ``census`` accept ``--json`` for machine-readable output.
+``components``, ``census`` and ``serve bench`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
@@ -43,9 +49,17 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Degree-separated distributed graph traversal on a simulated GPU cluster",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
+        help="print the package version (from the project metadata) and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -113,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b_run.add_argument("--label", default="", help="free-form snapshot label")
     b_run.add_argument("--json", action="store_true", help="print the artifact to stdout")
+    b_run.add_argument(
+        "--serve-sequential",
+        action="store_true",
+        help="run serving scenarios through the sequential baseline instead of "
+        "the batched service (the 'before' half of a before/after pair)",
+    )
 
     b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
     b_cmp.add_argument("old", type=Path, help="baseline artifact")
@@ -129,7 +149,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="absolute wall-clock noise floor; smaller deltas are never flagged",
     )
+    b_cmp.add_argument(
+        "--fail-on",
+        choices=["any", "counters", "none"],
+        default="any",
+        help="what makes the exit code non-zero: any finding (regressions or "
+        "counter drift, the default), counter drift only (the blocking CI "
+        "gate), or nothing (report only)",
+    )
     b_cmp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    serve = sub.add_parser("serve", help="batched multi-source query serving")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    s_bench = serve_sub.add_parser(
+        "bench",
+        help="replay a Zipf query stream through the service; report queries/sec",
+    )
+    _add_graph_args(s_bench)
+    _add_cluster_args(s_bench)
+    s_bench.add_argument("--queries", type=int, default=256, help="query stream length")
+    s_bench.add_argument(
+        "--skew", type=float, default=1.0, help="Zipf exponent of source popularity"
+    )
+    s_bench.add_argument(
+        "--pool", type=int, default=192, help="candidate source pool size"
+    )
+    s_bench.add_argument(
+        "--batch-size", type=int, default=32, help="lanes per fused MS-BFS sweep"
+    )
+    s_bench.add_argument(
+        "--cache-size", type=int, default=128, help="LRU result-cache capacity"
+    )
+    s_bench.add_argument(
+        "--program",
+        choices=["levels", "khop"],
+        default="levels",
+        help="query program served to every request",
+    )
+    s_bench.add_argument("--max-hops", type=int, default=3, help="hop cap for khop")
+    s_bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the sequential-service baseline replay",
+    )
+    s_bench.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     return parser
 
@@ -451,6 +514,16 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         if args.json:
             return
         wall = record["wall_s"]
+        if "throughput" in record:
+            t = record["throughput"]
+            print(
+                f"  {name:<28} serve     {wall['traversal'] * 1e3:8.2f} ms wall "
+                f"(build {wall['graph_build']:.2f} s, partition {wall['partition']:.2f} s) "
+                f"{t['queries']} queries, {t['queries_per_sec']:,.0f} q/s "
+                f"({'batched' if t['batched'] else 'sequential'}, "
+                f"{t['traversals']} traversals)"
+            )
+            return
         print(
             f"  {name:<28} traversal {wall['traversal'] * 1e3:8.2f} ms wall "
             f"(build {wall['graph_build']:.2f} s, partition {wall['partition']:.2f} s) "
@@ -467,6 +540,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         out_path=out_path,
         on_record=progress,
+        serve_batched=not args.serve_sequential,
     )
     if args.json:
         print(json.dumps(artifact, indent=2))
@@ -493,7 +567,98 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"comparing {args.old} -> {args.new}")
         for line in report.summary_lines():
             print(line)
+    if args.fail_on == "none":
+        return 0
+    if args.fail_on == "counters":
+        return 0 if report.counters_ok else 1
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "bench":
+        return _cmd_serve_bench(args)
+    raise AssertionError(f"unhandled serve command {args.serve_command!r}")  # pragma: no cover
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.core.engine import TraversalEngine
+    from repro.graph.degree import out_degrees
+    from repro.serve import QueryService, ZipfWorkload
+
+    edges = _load_graph(args)
+    graph, layout, threshold = _partition(args, edges)
+    engine = TraversalEngine(graph)
+    workload = ZipfWorkload(
+        num_queries=args.queries,
+        skew=args.skew,
+        pool=args.pool,
+        seed=args.seed + 2,
+        program=args.program,
+        max_hops=args.max_hops if args.program == "khop" else None,
+    )
+    stream = workload.generate(edges.num_vertices, degrees=out_degrees(edges))
+
+    if not args.json:
+        print(
+            f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+            f"cluster {layout.notation()} | TH={threshold} | "
+            f"delegates {graph.num_delegates:,}"
+        )
+        print(
+            f"workload: {args.queries} {args.program} queries, "
+            f"zipf skew {args.skew}, pool {workload.pool}, "
+            f"batch {args.batch_size}, cache {args.cache_size}"
+        )
+
+    def replay(batched: bool) -> QueryService:
+        service = QueryService(
+            engine,
+            batch_size=args.batch_size,
+            cache_size=args.cache_size,
+            batched=batched,
+        )
+        service.serve(stream)
+        return service
+
+    batched = replay(batched=True)
+    sequential = None if args.no_baseline else replay(batched=False)
+
+    if args.json:
+        out = {
+            "graph": _graph_info(edges, layout, threshold, graph),
+            "workload": workload.describe(),
+            "batch_size": args.batch_size,
+            "cache_size": args.cache_size,
+            "batched": batched.stats_snapshot(),
+        }
+        if sequential is not None:
+            out["sequential"] = sequential.stats_snapshot()
+            out["speedup"] = (
+                sequential.stats.wall_s / batched.stats.wall_s
+                if batched.stats.wall_s > 0
+                else None
+            )
+        print(json.dumps(out, indent=2))
+        return 0
+
+    def report(tag: str, service: QueryService) -> None:
+        s, c = service.stats, service.cache.stats
+        print(
+            f"  {tag:<10} {s.queries_per_sec:10,.0f} q/s  "
+            f"({s.queries} queries in {s.wall_s:.3f} s, {s.traversals} traversals, "
+            f"{s.batches} batches, cache hit rate {c.hit_rate:.0%}, "
+            f"{c.evictions} evictions)"
+        )
+
+    report("batched", batched)
+    if sequential is not None:
+        report("sequential", sequential)
+        if batched.stats.wall_s > 0:
+            print(
+                f"  speedup    {sequential.stats.wall_s / batched.stats.wall_s:10.2f}x "
+                f"queries/sec over sequential run_many"
+            )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -509,6 +674,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_census(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -21,6 +21,14 @@ implemented here with *real* buffer movement plus modeled cost:
     within-rank index, reducing the number of communicating pairs from ``p²``
     to ``p²/pgpu``) and *uniquification* (dropping duplicate destinations
     before sending).
+
+The batched (MS-BFS style) engine path reuses both patterns with a lane-word
+payload: :meth:`Communicator.exchange_batch` ships (vertex, source-bitset)
+pairs — 4 bytes of local id plus ``8 * nwords`` bytes of lane words per
+vertex, always OR-deduplicated per destination before transmission — and
+:meth:`Communicator.allreduce_delegate_batch` OR-reduces the 2-D delegate
+masks so one reduction of ``d x B`` bits amortizes the per-reduction latency
+across the whole batch.
 """
 
 from __future__ import annotations
@@ -31,13 +39,15 @@ import numpy as np
 
 from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
-from repro.utils.bitmask import Bitmask
+from repro.utils.bitmask import BatchBitmask, Bitmask
 
 __all__ = [
     "CommStats",
     "ExchangeResult",
+    "BatchExchangeResult",
     "ReduceResult",
     "ValueReduceResult",
+    "BatchReduceResult",
     "Communicator",
 ]
 
@@ -108,6 +118,26 @@ class ExchangeResult:
 
 
 @dataclass
+class BatchExchangeResult:
+    """Outcome of one batched normal-vertex exchange super-step."""
+
+    #: Per destination GPU, the received *local slot* ids (int64, unique per
+    #: sender after the OR-dedup, but possibly repeated across senders).
+    inboxes: list[np.ndarray]
+    #: Per destination GPU, the ``(len, nwords)`` uint64 lane words parallel
+    #: to ``inboxes``.
+    word_inboxes: list[np.ndarray]
+    #: Modeled time of the on-GPU binning/dedup phase (max over GPUs), s.
+    local_time_s: float
+    #: Modeled time of the point-to-point network phase (max over GPUs), s.
+    remote_time_s: float
+    #: Bytes sent over inter-rank links.
+    remote_bytes: int
+    #: Bytes moved over intra-rank (NVLink) links.
+    local_bytes: int
+
+
+@dataclass
 class ReduceResult:
     """Outcome of one delegate-mask reduction."""
 
@@ -127,6 +157,20 @@ class ValueReduceResult:
 
     #: Element-wise combine of all input arrays (shared by every GPU).
     merged: np.ndarray
+    #: Modeled time of the intra-rank push-to-GPU0 + broadcast phases.
+    local_time_s: float
+    #: Modeled time of the inter-rank (I)AllReduce phase.
+    global_time_s: float
+    #: Bytes exchanged between ranks.
+    global_bytes: int
+
+
+@dataclass
+class BatchReduceResult:
+    """Outcome of one batched (2-D) delegate-mask reduction."""
+
+    #: The OR of all input batch masks (shared by every GPU afterwards).
+    merged: BatchBitmask
     #: Modeled time of the intra-rank push-to-GPU0 + broadcast phases.
     local_time_s: float
     #: Modeled time of the inter-rank (I)AllReduce phase.
@@ -256,6 +300,170 @@ class Communicator:
             local_time_s=local_time,
             global_time_s=global_time,
             global_bytes=global_bytes,
+        )
+
+    def allreduce_delegate_batch(
+        self, masks: list[BatchBitmask], blocking: bool = True
+    ) -> BatchReduceResult:
+        """Two-phase OR-reduction of per-GPU 2-D delegate update masks.
+
+        The movement pattern is identical to
+        :meth:`allreduce_delegate_masks`, but each delegate carries one bit
+        per batch lane instead of a single visited bit: one reduction of
+        ``d * B`` bits serves all B concurrent traversals, so the
+        per-reduction latency (the dominant cost of thin iterations)
+        amortizes across the whole batch.
+        """
+        layout = self.topology.layout
+        if len(masks) != layout.num_gpus:
+            raise ValueError(
+                f"expected {layout.num_gpus} masks (one per GPU), got {len(masks)}"
+            )
+        if not masks:
+            raise ValueError("cannot reduce zero masks")
+        merged = masks[0].copy()
+        for mask in masks[1:]:
+            merged.or_with(mask)
+
+        nbytes = merged.packed_nbytes
+        local_time = 0.0
+        if layout.gpus_per_rank > 1:
+            local_time = self.netmodel.local_reduce_time(
+                nbytes, layout.gpus_per_rank
+            ) + self.netmodel.local_broadcast_time(nbytes, layout.gpus_per_rank)
+        global_time = self.netmodel.global_allreduce_time(
+            nbytes, layout.num_ranks, blocking=blocking
+        )
+        global_bytes = 0
+        if layout.num_ranks > 1:
+            global_bytes = 2 * nbytes * layout.num_ranks
+
+        self.stats.delegate_mask_bytes += global_bytes
+        self.stats.delegate_reductions += 1
+        return BatchReduceResult(
+            merged=merged,
+            local_time_s=local_time,
+            global_time_s=global_time,
+            global_bytes=global_bytes,
+        )
+
+    def exchange_batch(
+        self, outboxes: list[np.ndarray], outbox_words: list[np.ndarray]
+    ) -> BatchExchangeResult:
+        """Route batched (vertex, source-bitset) updates to their owner GPUs.
+
+        Parameters
+        ----------
+        outboxes:
+            One array of *global* destination vertex ids per source GPU (the
+            unique destinations of that GPU's batched nn visit).
+        outbox_words:
+            Per source GPU, the ``(len, nwords)`` uint64 lane words parallel
+            to its outbox.
+
+        Each sender bins by destination owner, OR-combines duplicate
+        destinations (batched traffic is always uniquified — merging lane
+        words is free and strictly reduces volume), and sends 4-byte local
+        ids plus ``8 * nwords`` bytes of lane words per vertex.  The id bytes
+        are charged like the plain exchange; the lane words are accounted as
+        payload bytes.
+        """
+        layout = self.topology.layout
+        p = layout.num_gpus
+        if len(outboxes) != p or len(outbox_words) != p:
+            raise ValueError(f"expected {p} outboxes and word arrays")
+
+        binned: list[list[np.ndarray]] = []
+        binned_words: list[list[np.ndarray]] = []
+        per_gpu_filter_time = np.zeros(p, dtype=np.float64)
+        nwords = 1
+        for src_gpu, out in enumerate(outboxes):
+            out = np.asarray(out, dtype=np.int64).ravel()
+            words = np.asarray(outbox_words[src_gpu], dtype=np.uint64)
+            if words.ndim == 2 and words.shape[1] > 0:
+                nwords = max(nwords, words.shape[1])
+            if words.shape[0] != out.size:
+                raise ValueError(
+                    f"words of GPU {src_gpu} have {words.shape[0]} rows, "
+                    f"expected {out.size}"
+                )
+            per_gpu_filter_time[src_gpu] += self.netmodel.filter_time(out.size)
+            dest_owner = layout.flat_gpu_of(out)
+            local_slot = layout.local_index_of(out).astype(np.int32)
+            order = np.argsort(dest_owner, kind="stable")
+            sorted_slots = local_slot[order]
+            sorted_words = words[order]
+            bounds = np.zeros(p + 1, dtype=np.int64)
+            np.cumsum(np.bincount(dest_owner, minlength=p), out=bounds[1:])
+            buckets: list[np.ndarray] = []
+            wbuckets: list[np.ndarray] = []
+            for g in range(p):
+                chunk = sorted_slots[bounds[g]:bounds[g + 1]]
+                wchunk = sorted_words[bounds[g]:bounds[g + 1]]
+                if chunk.size:
+                    # OR-dedup per destination before transmission.
+                    unique, inverse = np.unique(chunk, return_inverse=True)
+                    if unique.size != chunk.size:
+                        reduced = np.zeros((unique.size, wchunk.shape[1]), dtype=np.uint64)
+                        np.bitwise_or.at(reduced, inverse, wchunk)
+                        chunk, wchunk = unique, reduced
+                        per_gpu_filter_time[src_gpu] += self.netmodel.filter_time(
+                            int(inverse.size)
+                        )
+                buckets.append(chunk)
+                wbuckets.append(wchunk)
+            binned.append(buckets)
+            binned_words.append(wbuckets)
+
+        inbox_parts: list[list[np.ndarray]] = [[] for _ in range(p)]
+        word_parts: list[list[np.ndarray]] = [[] for _ in range(p)]
+        per_gpu_send_time = np.zeros(p, dtype=np.float64)
+        remote_bytes = 0
+        local_bytes = 0
+        payload_bytes = 0
+        for src_gpu in range(p):
+            for dst_gpu in range(p):
+                chunk = binned[src_gpu][dst_gpu]
+                if chunk.size == 0:
+                    continue
+                wchunk = binned_words[src_gpu][dst_gpu]
+                inbox_parts[dst_gpu].append(chunk)
+                word_parts[dst_gpu].append(wchunk)
+                if dst_gpu == src_gpu:
+                    continue
+                nbytes = chunk.nbytes + wchunk.nbytes
+                same_rank = bool(self.topology.same_rank(src_gpu, dst_gpu))
+                per_gpu_send_time[src_gpu] += self.netmodel.p2p_time(nbytes, same_rank)
+                if same_rank:
+                    local_bytes += nbytes
+                else:
+                    remote_bytes += nbytes
+                payload_bytes += wchunk.nbytes
+                self.stats.normal_messages += 1
+                self.stats.normal_vertices_sent += int(chunk.size)
+
+        inboxes = [
+            np.concatenate(parts).astype(np.int64)
+            if parts
+            else np.zeros(0, dtype=np.int64)
+            for parts in inbox_parts
+        ]
+        word_inboxes = [
+            np.concatenate(parts)
+            if parts
+            else np.zeros((0, nwords), dtype=np.uint64)
+            for parts in word_parts
+        ]
+        self.stats.normal_bytes_remote += remote_bytes
+        self.stats.normal_bytes_local += local_bytes
+        self.stats.normal_payload_bytes += payload_bytes
+        return BatchExchangeResult(
+            inboxes=inboxes,
+            word_inboxes=word_inboxes,
+            local_time_s=float(per_gpu_filter_time.max()) if p else 0.0,
+            remote_time_s=float(per_gpu_send_time.max()) if p else 0.0,
+            remote_bytes=remote_bytes,
+            local_bytes=local_bytes,
         )
 
     # ------------------------------------------------------------------ #

@@ -41,6 +41,9 @@ from repro.core.campaign import Campaign, run_campaign
 from repro.core.engine import DistributedBFS, TraversalEngine
 from repro.core.options import BFSOptions, DirectionFactors
 from repro.core.programs import (
+    BatchedBFSLevels,
+    BatchedFrontierProgram,
+    BatchedReachability,
     BFSLevels,
     BFSParents,
     ConnectedComponents,
@@ -48,6 +51,7 @@ from repro.core.programs import (
     KHopReachability,
 )
 from repro.core.results import (
+    BatchResult,
     BFSResult,
     ComponentsResult,
     IterationRecord,
@@ -64,6 +68,9 @@ __all__ = [
     "BFSParents",
     "ConnectedComponents",
     "KHopReachability",
+    "BatchedFrontierProgram",
+    "BatchedBFSLevels",
+    "BatchedReachability",
     "BFSOptions",
     "DirectionFactors",
     "TraversalResult",
@@ -71,6 +78,7 @@ __all__ = [
     "ParentTreeResult",
     "ComponentsResult",
     "ReachabilityResult",
+    "BatchResult",
     "IterationRecord",
     "Campaign",
     "run_campaign",

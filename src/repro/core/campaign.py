@@ -31,6 +31,9 @@ class Campaign(Sequence):
 
     #: Every run, in execution order (including skipped single-iteration runs).
     results: list = field(default_factory=list)
+    #: Traversals the engine skipped because a duplicate program had already
+    #: run (the duplicate positions share the first run's result object).
+    saved_traversals: int = 0
 
     # ------------------------------------------------------------------ #
     # Sequence protocol: a Campaign can stand in for the bare result list
@@ -45,9 +48,9 @@ class Campaign(Sequence):
         return self.results[index]
 
     @classmethod
-    def from_results(cls, results: list) -> "Campaign":
+    def from_results(cls, results: list, saved_traversals: int = 0) -> "Campaign":
         """Wrap an already-computed list of results."""
-        return cls(results=list(results))
+        return cls(results=list(results), saved_traversals=int(saved_traversals))
 
     # ------------------------------------------------------------------ #
     # The paper's reporting protocol
@@ -95,6 +98,7 @@ class Campaign(Sequence):
             "runs": len(self.results),
             "reported": len(self.reported),
             "skipped": len(self.skipped),
+            "saved_traversals": self.saved_traversals,
         }
         if self.reported:
             out["geo_mean_gteps"] = self.geo_mean_gteps(counted_edges)

@@ -48,17 +48,78 @@ from repro.cluster.hardware import HardwareSpec
 from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.core.direction import DirectionState, estimate_backward_workload
-from repro.core.kernels import KernelOutput, backward_visit, filter_frontier, forward_visit
+from repro.core.kernels import (
+    KernelOutput,
+    backward_visit,
+    batched_backward_visit,
+    batched_filter_frontier,
+    batched_forward_visit,
+    filter_frontier,
+    forward_visit,
+)
 from repro.core.options import BFSOptions
 from repro.core.programs.base import FrontierProgram, VisitContext
+from repro.core.programs.batched import (
+    BatchedBFSLevels,
+    BatchedFrontierProgram,
+    BatchedReachability,
+)
 from repro.core.programs.bfs_levels import BFSLevels
-from repro.core.results import BFSResult, IterationRecord, TraversalResult
+from repro.core.results import BatchResult, BFSResult, IterationRecord, TraversalResult
 from repro.core.state import UNVISITED, TraversalState
 from repro.partition.subgraphs import PartitionedGraph
-from repro.utils.bitmask import Bitmask
+from repro.utils.bitmask import BatchBitmask, Bitmask
 from repro.utils.timing import TimingBreakdown
 
 __all__ = ["TraversalEngine", "DistributedBFS"]
+
+#: Default lane count per batched sweep when ``run_many`` routes through the
+#: batched path; wider batches amortize better but grow the lane words.
+DEFAULT_BATCH_SIZE = 32
+
+
+def _program_dedup_key(program) -> tuple | None:
+    """A hashable identity for programs whose re-run would be a pure waste.
+
+    ``None`` marks programs this engine cannot prove deduplicable (custom
+    subclasses may carry extra state, so only exact shipped types match).
+    """
+    from repro.core.programs.bfs_parents import BFSParents
+    from repro.core.programs.components import ConnectedComponents
+    from repro.core.programs.khop import KHopReachability
+
+    t = type(program)
+    if t is BFSLevels:
+        return ("levels", program.source)
+    if t is KHopReachability:
+        return ("khop", program.source, program.max_levels)
+    if t is BFSParents:
+        return ("parents", program.source)
+    if t is ConnectedComponents:
+        return ("components",)
+    return None
+
+
+def _batched_equivalent(programs: list, batch_size: int):
+    """A factory building batched sweeps for a homogeneous program list.
+
+    Returns ``None`` when the list is not batchable (mixed types, payload
+    programs, or differing hop caps); otherwise a callable mapping a list of
+    sources to the batched program covering them.
+    """
+    from repro.core.programs.khop import KHopReachability
+
+    if batch_size < 2 or len(programs) < 2:
+        return None
+    types = {type(p) for p in programs}
+    if types == {BFSLevels}:
+        return lambda sources: BatchedBFSLevels(sources)
+    if types == {KHopReachability}:
+        caps = {p.max_levels for p in programs}
+        if len(caps) == 1:
+            cap = caps.pop()
+            return lambda sources: BatchedReachability(sources, max_hops=cap)
+    return None
 
 
 class TraversalEngine:
@@ -187,11 +248,135 @@ class TraversalEngine:
         }
         return program.make_result(state.gather_values(), base)
 
-    def run_many(self, programs) -> "Campaign":
-        """Run several programs and aggregate their results into a Campaign."""
+    def run_many(self, programs, batch_size: int | None = None) -> "Campaign":
+        """Run several programs and aggregate their results into a Campaign.
+
+        Duplicate programs (same shipped type and parameters) are traversed
+        once and fanned back out to every requesting position — the results
+        are deterministic, so re-running them is pure waste; the campaign's
+        ``saved_traversals`` counter records how many runs the dedup saved.
+
+        With ``batch_size`` set (>= 2) and a homogeneous list of
+        :class:`~repro.core.programs.BFSLevels` or
+        :class:`~repro.core.programs.KHopReachability` programs, the unique
+        sources are routed through the batched MS-BFS path
+        (:meth:`run_batch`) in chunks of up to ``batch_size`` lanes.  Each
+        position still receives a per-source result with bit-identical
+        answers; counters and timing on those results describe the shared
+        batched sweeps.
+        """
         from repro.core.campaign import Campaign
 
-        return Campaign.from_results([self.run(prog) for prog in programs])
+        programs = list(programs)
+        unique_programs: list = []
+        fan: list[int] = []
+        index_of: dict[tuple, int] = {}
+        for program in programs:
+            key = _program_dedup_key(program)
+            if key is not None and key in index_of:
+                fan.append(index_of[key])
+                continue
+            idx = len(unique_programs)
+            if key is not None:
+                index_of[key] = idx
+            unique_programs.append(program)
+            fan.append(idx)
+        saved = len(programs) - len(unique_programs)
+
+        batch_factory = (
+            _batched_equivalent(unique_programs, batch_size) if batch_size else None
+        )
+        if batch_factory is not None:
+            unique_results: list = []
+            sources = [p.source for p in unique_programs]
+            for start in range(0, len(sources), batch_size):
+                chunk = sources[start:start + batch_size]
+                if len(chunk) == 1:
+                    unique_results.append(self.run(unique_programs[start]))
+                    continue
+                batch = self.run_batch(batch_factory(chunk))
+                unique_results.extend(batch.per_source_results())
+        else:
+            unique_results = [self.run(prog) for prog in unique_programs]
+        return Campaign.from_results(
+            [unique_results[i] for i in fan], saved_traversals=saved
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched (MS-BFS style) execution
+    # ------------------------------------------------------------------ #
+    def run_batch(self, program: BatchedFrontierProgram) -> BatchResult:
+        """Run one batched program (B sources, one fused sweep) to completion.
+
+        Every lane's answer is bit-identical to the corresponding sequential
+        single-source run; the counters and modeled times describe the fused
+        sweep.  Direction optimization applies per subgraph exactly as in the
+        sequential path, but with the batched backward workload (full parent
+        lists — a batched pull has no early exit).
+        """
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+        d = graph.num_delegates
+        width = program.width
+        nwords = (width + 63) // 64
+
+        program.begin(graph)
+        state = _BatchState.initialize(graph, program.sources, width)
+        communicator = Communicator(self.topology, self.netmodel)
+        do_enabled = opts.direction_optimized
+        dir_states = {
+            "nd": [DirectionState(opts.nd_factors, enabled=do_enabled) for _ in range(p)],
+            "dn": [DirectionState(opts.dn_factors, enabled=do_enabled) for _ in range(p)],
+            "dd": [DirectionState(opts.dd_factors, enabled=do_enabled) for _ in range(p)],
+        }
+        # Lane-word mask of the valid lanes in the last word (the padding
+        # lanes beyond B must never go hot).
+        tail = width & 63
+        full_words = np.full(nwords, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        if tail:
+            full_words[-1] = np.uint64((1 << tail) - 1)
+
+        records: list[IterationRecord] = []
+        timing = TimingBreakdown()
+        total_edges = 0
+        level = 0
+        wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
+        run_started = time.perf_counter()
+
+        while not state.frontier_empty():
+            if program.max_levels is not None and level >= program.max_levels:
+                break
+            level += 1
+            if level > opts.max_iterations:
+                raise RuntimeError(
+                    f"{program.name} exceeded max_iterations={opts.max_iterations}; "
+                    "the graph or the engine state is inconsistent"
+                )
+            record = self._batched_super_step(
+                program, state, communicator, dir_states, level, full_words, wall
+            )
+            records.append(record)
+            total_edges += record.total_edges_examined()
+            timing.computation += record.computation_s * 1e3
+            timing.local_communication += record.local_communication_s * 1e3
+            timing.remote_normal_exchange += record.remote_normal_exchange_s * 1e3
+            timing.remote_delegate_reduce += record.remote_delegate_reduce_s * 1e3
+            timing.elapsed_ms += record.elapsed_s * 1e3
+            timing.per_iteration.append(record)
+
+        timing.iterations = len(records)
+        wall["traversal"] = time.perf_counter() - run_started
+        base = {
+            "iterations": len(records),
+            "records": records,
+            "timing": timing,
+            "comm_stats": communicator.stats,
+            "total_edges_examined": total_edges,
+            "num_directed_edges": graph.num_directed_edges,
+            "wall_s": wall,
+        }
+        return program.make_result(base)
 
     # ------------------------------------------------------------------ #
     # One super-step
@@ -516,6 +701,356 @@ class TraversalEngine:
         )
 
 
+    def _batched_super_step(
+        self,
+        program: BatchedFrontierProgram,
+        state: "_BatchState",
+        communicator: Communicator,
+        dir_states: dict[str, list[DirectionState]],
+        level: int,
+        full_words: np.ndarray,
+        wall: dict,
+    ) -> IterationRecord:
+        """One fused super-step advancing every lane of the batch at once.
+
+        Mirrors :meth:`_super_step` kernel for kernel, with lane words in
+        place of single visited bits: forward kernels OR-propagate the source
+        rows' words, backward pulls collect the full parent lists (no early
+        exit — each lane needs its own parents), the nn exchange ships
+        (vertex, source-bitset) pairs, and one 2-D delegate reduction serves
+        the whole batch.
+        """
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+        d = graph.num_delegates
+        nwords = full_words.size
+
+        rows_d = state.frontier_d_rows
+        words_d = state.frontier_d_words
+        dense_d = np.zeros((d, nwords), dtype=np.uint64)
+        if rows_d.size:
+            dense_d[rows_d] = words_d
+        if d:
+            wanted_d = np.bitwise_and(
+                np.bitwise_not(state.visited_d.words), full_words[None, :]
+            )
+            pull_ok = opts.direction_optimized
+            not_full_d = (
+                np.flatnonzero(wanted_d.any(axis=1)).astype(np.int64)
+                if pull_ok
+                else np.zeros(0, dtype=np.int64)
+            )
+        else:
+            wanted_d = np.zeros((0, nwords), dtype=np.uint64)
+            pull_ok = False
+            not_full_d = np.zeros(0, dtype=np.int64)
+
+        outboxes: list[np.ndarray] = []
+        outbox_words: list[np.ndarray] = []
+        update_masks: list[BatchBitmask] = []
+        fresh_dn_rows: list[np.ndarray] = []
+        fresh_dn_words: list[np.ndarray] = []
+        per_gpu_comp = np.zeros(p, dtype=np.float64)
+        edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
+        directions = {"nd": 0, "dn": 0, "dd": 0}
+        normal_frontier_total = int(sum(r.size for r in state.frontier_n_rows))
+        kernels_started = time.perf_counter()
+
+        def propose_delegates(update: BatchBitmask, out) -> None:
+            """Fold a kernel's delegate discoveries into this GPU's update,
+            dropping lanes already visited (the free replicated-status
+            filter, exactly as the sequential mask channel does)."""
+            if out.discovered.size == 0:
+                return
+            words = out.words & wanted_d[out.discovered]
+            keep = words.any(axis=1)
+            if keep.any():
+                update.or_rows(out.discovered[keep], words[keep])
+
+        for g in range(p):
+            part = graph.gpus[g]
+            deg = self._degrees[g]
+            rows_n = state.frontier_n_rows[g]
+            words_n = state.frontier_n_words[g]
+            comp = self.netmodel.iteration_overhead()
+            comp += self.netmodel.filter_time(2 * rows_n.size + 2 * rows_d.size)
+            update_d = BatchBitmask(d, state.width) if d else BatchBitmask(0, state.width)
+            # Lanes each local slot still wants; only the delegate-coupled
+            # kernels read it, so the all-normal partition never pays for it.
+            wanted_n = (
+                np.bitwise_and(
+                    np.bitwise_not(state.visited_n[g].words), full_words[None, :]
+                )
+                if d
+                else np.zeros((0, nwords), dtype=np.uint64)
+            )
+            dense_n: np.ndarray | None = None
+
+            # ---- nn visit: always forward -------------------------------- #
+            q_rows, q_words = batched_filter_frontier(rows_n, words_n, deg["nn"])
+            out_nn = batched_forward_visit(part.nn, q_rows, q_words)
+            comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
+            edges_examined["nn"] += out_nn.edges_examined
+            outboxes.append(out_nn.discovered)
+            outbox_words.append(out_nn.words)
+
+            # ---- shared backward candidate sets --------------------------- #
+            if d and pull_ok:
+                cand_nd = not_full_d[part.dn_source_mask[not_full_d]]
+                cand_dd = not_full_d[part.dd_source_mask[not_full_d]]
+            else:
+                cand_nd = np.zeros(0, dtype=np.int64)
+                cand_dd = np.zeros(0, dtype=np.int64)
+            if pull_ok and part.nd_source_list.size:
+                nd_src = part.nd_source_list
+                cand_dn = nd_src[wanted_n[nd_src].any(axis=1)]
+            else:
+                cand_dn = np.zeros(0, dtype=np.int64)
+
+            # ---- nd visit (destinations are delegates) -------------------- #
+            if d:
+                q_nd_rows, q_nd_words = batched_filter_frontier(rows_n, words_n, deg["nd"])
+                fv_nd = int(deg["nd"][q_nd_rows].sum()) if q_nd_rows.size else 0
+                # A batched pull has no early exit, so its workload is not the
+                # paper's expected-first-hit estimate but the exact full parent
+                # lists of the candidates — computable from the reverse CSR.
+                bv_nd = int(deg["dn"][cand_nd].sum()) if cand_nd.size else 0
+                backward = dir_states["nd"][g].decide(fv_nd, bv_nd)
+                if backward:
+                    if dense_n is None:
+                        dense_n = np.zeros((part.num_local, nwords), dtype=np.uint64)
+                        if rows_n.size:
+                            dense_n[rows_n] = words_n
+                    out_nd = batched_backward_visit(
+                        part.dn, cand_nd, dense_n, wanted_d[cand_nd]
+                    )
+                    directions["nd"] += 1
+                else:
+                    out_nd = batched_forward_visit(part.nd, q_nd_rows, q_nd_words)
+                comp += self.netmodel.traversal_time(
+                    out_nd.edges_examined, backward=out_nd.backward
+                )
+                edges_examined["nd"] += out_nd.edges_examined
+                propose_delegates(update_d, out_nd)
+
+            # ---- dn visit (destinations are local normal vertices) -------- #
+            f_rows = np.zeros(0, dtype=np.int64)
+            f_words = np.zeros((0, nwords), dtype=np.uint64)
+            if d and part.num_local:
+                q_dn_rows, q_dn_words = batched_filter_frontier(rows_d, words_d, deg["dn"])
+                fv_dn = int(deg["dn"][q_dn_rows].sum()) if q_dn_rows.size else 0
+                bv_dn = int(deg["nd"][cand_dn].sum()) if cand_dn.size else 0
+                backward = dir_states["dn"][g].decide(fv_dn, bv_dn)
+                if backward:
+                    out_dn = batched_backward_visit(
+                        part.nd, cand_dn, dense_d, wanted_n[cand_dn]
+                    )
+                    directions["dn"] += 1
+                else:
+                    out_dn = batched_forward_visit(part.dn, q_dn_rows, q_dn_words)
+                comp += self.netmodel.traversal_time(
+                    out_dn.edges_examined, backward=out_dn.backward
+                )
+                edges_examined["dn"] += out_dn.edges_examined
+                if out_dn.discovered.size:
+                    new = out_dn.words & wanted_n[out_dn.discovered]
+                    keep = new.any(axis=1)
+                    f_rows = out_dn.discovered[keep]
+                    f_words = new[keep]
+                    if f_rows.size:
+                        state.visited_n[g].or_rows(f_rows, f_words)
+                        program.record(
+                            part.global_ids_of_locals(f_rows), f_words, level
+                        )
+
+            # ---- dd visit (delegates to delegates) ------------------------ #
+            if d:
+                q_dd_rows, q_dd_words = batched_filter_frontier(rows_d, words_d, deg["dd"])
+                fv_dd = int(deg["dd"][q_dd_rows].sum()) if q_dd_rows.size else 0
+                bv_dd = int(deg["dd"][cand_dd].sum()) if cand_dd.size else 0
+                backward = dir_states["dd"][g].decide(fv_dd, bv_dd)
+                if backward:
+                    out_dd = batched_backward_visit(
+                        part.dd, cand_dd, dense_d, wanted_d[cand_dd]
+                    )
+                    directions["dd"] += 1
+                else:
+                    out_dd = batched_forward_visit(part.dd, q_dd_rows, q_dd_words)
+                comp += self.netmodel.traversal_time(
+                    out_dd.edges_examined, backward=out_dd.backward
+                )
+                edges_examined["dd"] += out_dd.edges_examined
+                propose_delegates(update_d, out_dd)
+
+            update_masks.append(update_d)
+            fresh_dn_rows.append(f_rows)
+            fresh_dn_words.append(f_words)
+            per_gpu_comp[g] = comp
+
+        # ------------------------------------------------------------------ #
+        # Communication stage
+        # ------------------------------------------------------------------ #
+        exchange_started = time.perf_counter()
+        wall["kernels"] += exchange_started - kernels_started
+        exchange = communicator.exchange_batch(outboxes, outbox_words)
+        discovered = 0
+        for g in range(p):
+            inbox = exchange.inboxes[g]
+            rows_recv = np.zeros(0, dtype=np.int64)
+            words_recv = np.zeros((0, nwords), dtype=np.uint64)
+            if inbox.size:
+                unique, inverse = np.unique(inbox, return_inverse=True)
+                proposed = np.zeros((unique.size, nwords), dtype=np.uint64)
+                np.bitwise_or.at(proposed, inverse, exchange.word_inboxes[g])
+                current = state.visited_n[g].words[unique]
+                new = proposed & np.bitwise_not(current) & full_words[None, :]
+                keep = new.any(axis=1)
+                rows_recv = unique[keep]
+                words_recv = new[keep]
+                if rows_recv.size:
+                    state.visited_n[g].or_rows(rows_recv, words_recv)
+                    program.record(
+                        graph.gpus[g].global_ids_of_locals(rows_recv), words_recv, level
+                    )
+            rows_all = np.concatenate([fresh_dn_rows[g], rows_recv])
+            if rows_all.size:
+                words_all = np.concatenate([fresh_dn_words[g], words_recv])
+                unique, inverse = np.unique(rows_all, return_inverse=True)
+                merged = np.zeros((unique.size, nwords), dtype=np.uint64)
+                np.bitwise_or.at(merged, inverse, words_all)
+                state.frontier_n_rows[g] = unique
+                state.frontier_n_words[g] = merged
+            else:
+                state.frontier_n_rows[g] = rows_all
+                state.frontier_n_words[g] = np.zeros((0, nwords), dtype=np.uint64)
+            discovered += int(state.frontier_n_rows[g].size)
+
+        reduce_started = time.perf_counter()
+        wall["exchange"] += reduce_started - exchange_started
+        delegate_reduce_needed = any(mask.any() for mask in update_masks)
+        reduce_local_s = 0.0
+        reduce_global_s = 0.0
+        if delegate_reduce_needed:
+            reduce = communicator.allreduce_delegate_batch(
+                update_masks, blocking=opts.blocking_reduce
+            )
+            new_bits = reduce.merged.and_not(state.visited_d)
+            rows = new_bits.nonzero_rows()
+            words = new_bits.words[rows]
+            state.visited_d.or_with(new_bits)
+            state.frontier_d_rows = rows
+            state.frontier_d_words = words
+            if rows.size:
+                program.record(graph.delegate_vertices[rows], words, level)
+            reduce_local_s = reduce.local_time_s
+            reduce_global_s = reduce.global_time_s
+        else:
+            state.frontier_d_rows = np.zeros(0, dtype=np.int64)
+            state.frontier_d_words = np.zeros((0, nwords), dtype=np.uint64)
+        discovered += int(state.frontier_d_rows.size)
+        wall["delegate_reduce"] += time.perf_counter() - reduce_started
+
+        computation_s = float(per_gpu_comp.max()) if p else 0.0
+        local_comm_s = exchange.local_time_s + reduce_local_s
+        remote_normal_s = exchange.remote_time_s
+        remote_delegate_s = reduce_global_s
+        comm_total = local_comm_s + remote_normal_s + remote_delegate_s
+        overlap = opts.overlap_efficiency * min(computation_s, comm_total)
+        elapsed_s = computation_s + comm_total - overlap
+
+        return IterationRecord(
+            iteration=level,
+            normal_frontier_size=normal_frontier_total,
+            delegate_frontier_size=int(rows_d.size),
+            edges_examined=edges_examined,
+            directions=directions,
+            discovered=discovered,
+            delegate_reduce=delegate_reduce_needed,
+            computation_s=computation_s,
+            local_communication_s=local_comm_s,
+            remote_normal_exchange_s=remote_normal_s,
+            remote_delegate_reduce_s=remote_delegate_s,
+            elapsed_s=elapsed_s,
+        )
+
+
+class _BatchState:
+    """Mutable per-run state of one batched traversal.
+
+    Per GPU, a :class:`BatchBitmask` over the local normal slots plus the
+    (rows, words) frontier of the last super-step's discoveries; replicated,
+    the delegate batch mask and frontier — the 2-D analogue of
+    :class:`repro.core.state.TraversalState` for lane-bitset programs.
+    """
+
+    __slots__ = (
+        "width",
+        "visited_n",
+        "visited_d",
+        "frontier_n_rows",
+        "frontier_n_words",
+        "frontier_d_rows",
+        "frontier_d_words",
+    )
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    @classmethod
+    def initialize(cls, graph: PartitionedGraph, sources, width: int) -> "_BatchState":
+        state = cls(width)
+        nwords = (width + 63) // 64
+        d = graph.num_delegates
+        state.visited_n = [BatchBitmask(gpu.num_local, width) for gpu in graph.gpus]
+        state.visited_d = BatchBitmask(d, width)
+        d_rows: list[int] = []
+        d_lanes: list[int] = []
+        n_rows: dict[int, list[int]] = {}
+        n_lanes: dict[int, list[int]] = {}
+        for lane, source in enumerate(sources):
+            delegate_id = int(graph.separation.delegate_id_of[source])
+            if delegate_id >= 0:
+                d_rows.append(delegate_id)
+                d_lanes.append(lane)
+            else:
+                owner = int(graph.layout.flat_gpu_of(source))
+                n_rows.setdefault(owner, []).append(
+                    int(graph.layout.local_index_of(source))
+                )
+                n_lanes.setdefault(owner, []).append(lane)
+        if d_rows:
+            state.visited_d.set_lanes(
+                np.asarray(d_rows, dtype=np.int64), np.asarray(d_lanes, dtype=np.int64)
+            )
+        for owner, rows in n_rows.items():
+            state.visited_n[owner].set_lanes(
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(n_lanes[owner], dtype=np.int64),
+            )
+        # The initial frontiers are exactly the seeds (nothing else is set).
+        state.frontier_n_rows = []
+        state.frontier_n_words = []
+        for mask in state.visited_n:
+            rows = mask.nonzero_rows()
+            state.frontier_n_rows.append(rows)
+            state.frontier_n_words.append(mask.get_rows(rows))
+        rows = state.visited_d.nonzero_rows()
+        state.frontier_d_rows = rows
+        state.frontier_d_words = (
+            state.visited_d.get_rows(rows)
+            if rows.size
+            else np.zeros((0, nwords), dtype=np.uint64)
+        )
+        return state
+
+    def frontier_empty(self) -> bool:
+        """Whether both the normal and delegate frontiers are empty everywhere."""
+        if self.frontier_d_rows.size:
+            return False
+        return all(rows.size == 0 for rows in self.frontier_n_rows)
+
+
 class DistributedBFS:
     """Distributed breadth-first search over a degree-separated partitioning.
 
@@ -580,15 +1115,22 @@ class DistributedBFS:
         """Run one BFS from ``source`` and return distances plus metrics."""
         return self.engine.run(BFSLevels(source=int(source)))
 
-    def run_many(self, sources: np.ndarray | list[int]) -> "Campaign":
+    def run_many(
+        self, sources: np.ndarray | list[int], batch_size: int | None = None
+    ) -> "Campaign":
         """Run BFS from several sources (the paper reports 140 per data point).
 
         Returns a :class:`repro.core.campaign.Campaign`, an aggregating
         sequence of the per-source results (indexable and iterable like the
-        plain list earlier versions returned).
+        plain list earlier versions returned).  Duplicate sources are
+        traversed once and fanned back out (``campaign.saved_traversals``
+        counts the skips); ``batch_size >= 2`` routes the unique sources
+        through the batched MS-BFS path.
         """
-        from repro.core.campaign import Campaign
-
-        return Campaign.from_results(
-            [self.run(int(s)) for s in np.asarray(sources, dtype=np.int64).ravel()]
+        return self.engine.run_many(
+            [
+                BFSLevels(source=int(s))
+                for s in np.asarray(sources, dtype=np.int64).ravel()
+            ],
+            batch_size=batch_size,
         )

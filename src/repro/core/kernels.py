@@ -14,6 +14,15 @@ the parent list of each unvisited candidate only until the first parent in the
 frontier is found (workload = edges examined before the first hit, or the full
 list when there is none) — this early exit is the whole point of
 direction-optimized BFS.
+
+The ``batched_*`` variants are the MS-BFS-style kernels of the batched engine
+path: the per-vertex frontier membership is a B-wide lane bitset
+(:class:`repro.utils.bitmask.BatchBitmask` rows), and one sweep propagates all
+B concurrent traversals at once by OR-combining the source rows' lane words
+into the destinations.  A batched backward pull has no early exit — every lane
+must collect its own parents — so its workload is the full candidate parent
+lists, which is also what makes the forward/backward trade-off different from
+the single-source case.
 """
 
 from __future__ import annotations
@@ -26,10 +35,14 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "KernelOutput",
+    "BatchKernelOutput",
     "forward_visit",
     "backward_visit",
     "frontier_workload",
     "filter_frontier",
+    "batched_filter_frontier",
+    "batched_forward_visit",
+    "batched_backward_visit",
 ]
 
 
@@ -198,4 +211,172 @@ def backward_visit(
         edges_examined=int(examined.sum()),
         backward=True,
         sources=hit_parents,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Batched (MS-BFS style) kernels
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchKernelOutput:
+    """Result of one batched visit kernel.
+
+    Attributes
+    ----------
+    discovered:
+        Unique destination ids this kernel proposed updates for (sorted).
+    words:
+        Per entry of ``discovered``, the OR-combined ``uint64`` lane words of
+        every source that reached it this super-step — shape
+        ``(len(discovered), nwords)``.  Destination-side filtering (dropping
+        lanes already visited) happens at the state update, as on a real GPU
+        where an atomicOr on the lane word does the filtering.
+    edges_examined:
+        Exact number of edges the kernel touched; feeds the performance model.
+    backward:
+        Whether the kernel ran in backward-pull mode.
+    """
+
+    discovered: np.ndarray
+    words: np.ndarray
+    edges_examined: int
+    backward: bool
+
+
+def _empty_batch_output(nwords: int, backward: bool) -> BatchKernelOutput:
+    return BatchKernelOutput(
+        discovered=np.zeros(0, dtype=np.int64),
+        words=np.zeros((0, nwords), dtype=np.uint64),
+        edges_examined=0,
+        backward=backward,
+    )
+
+
+def batched_filter_frontier(
+    rows: np.ndarray, words: np.ndarray, out_degrees: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Previsit filtering for a batched frontier: drop zero-out-degree rows.
+
+    ``rows`` are already unique (they come from
+    :meth:`repro.utils.bitmask.BatchBitmask.nonzero_rows`), so unlike the
+    single-source :func:`filter_frontier` no deduplication is needed — only
+    the zero-degree drop, applied to the rows and their lane words in step.
+    """
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    words = np.asarray(words, dtype=np.uint64)
+    if rows.size == 0:
+        return rows, words
+    keep = out_degrees[rows] > 0
+    return rows[keep], words[keep]
+
+
+def batched_forward_visit(
+    csr: CSRGraph, frontier_rows: np.ndarray, frontier_words: np.ndarray
+) -> BatchKernelOutput:
+    """Batched forward push: propagate every lane of the frontier at once.
+
+    Parameters
+    ----------
+    csr:
+        The subgraph to traverse (rows = frontier id space).
+    frontier_rows:
+        Sorted unique row ids to expand (pre-filtered by
+        :func:`batched_filter_frontier`).
+    frontier_words:
+        Lane words parallel to ``frontier_rows`` (``(len, nwords)`` uint64).
+
+    Returns
+    -------
+    BatchKernelOutput
+        One entry per unique destination with the OR of the lane words of all
+        frontier rows that reach it; ``edges_examined`` equals the frontier's
+        total out-degree, exactly as in the single-source forward push — the
+        batch amortizes the sweep, it does not change the edge workload.
+    """
+    frontier_rows = np.asarray(frontier_rows, dtype=np.int64).ravel()
+    frontier_words = np.asarray(frontier_words, dtype=np.uint64)
+    nwords = frontier_words.shape[1] if frontier_words.ndim == 2 else 1
+    if frontier_rows.size == 0:
+        return _empty_batch_output(nwords, backward=False)
+    rows, destinations = csr.gather_neighbors(frontier_rows)
+    if destinations.size == 0:
+        return _empty_batch_output(nwords, backward=False)
+    # Lane word of the discovering source, per edge: frontier_rows is sorted
+    # unique, so the edge's position in it is a binary search.
+    edge_words = frontier_words[
+        np.searchsorted(frontier_rows, np.asarray(rows, dtype=np.int64))
+    ]
+    unique, inverse = np.unique(np.asarray(destinations, dtype=np.int64), return_inverse=True)
+    out_words = np.zeros((unique.size, nwords), dtype=np.uint64)
+    np.bitwise_or.at(out_words, inverse, edge_words)
+    return BatchKernelOutput(
+        discovered=unique,
+        words=out_words,
+        edges_examined=int(destinations.size),
+        backward=False,
+    )
+
+
+def batched_backward_visit(
+    reverse_csr: CSRGraph,
+    candidates: np.ndarray,
+    parent_words: np.ndarray,
+    wanted_words: np.ndarray,
+) -> BatchKernelOutput:
+    """Batched backward pull: each candidate collects all its parents' lanes.
+
+    Parameters
+    ----------
+    reverse_csr:
+        CSR whose rows are the candidates and whose columns are their
+        potential parents.
+    candidates:
+        Sorted unique row ids still missing at least one lane.
+    parent_words:
+        Dense ``(num_cols, nwords)`` array of the previous super-step's
+        frontier lane words over the parent id space (zero rows = not in the
+        frontier).
+    wanted_words:
+        Per candidate, the lanes it still wants (``~visited``), parallel to
+        ``candidates``; pulled lanes outside this set are dropped here, the
+        free local filter of the batched pull.
+
+    Returns
+    -------
+    BatchKernelOutput
+        Candidates that gained at least one wanted lane, with the gained
+        words.  ``edges_examined`` counts the *full* parent lists: a batched
+        pull cannot early-exit because every lane needs its own first parent,
+        so its workload is the whole candidate neighbourhood — the price that
+        shifts the direction trade-off relative to single-source DOBFS.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64).ravel()
+    parent_words = np.asarray(parent_words, dtype=np.uint64)
+    wanted_words = np.asarray(wanted_words, dtype=np.uint64)
+    nwords = parent_words.shape[1] if parent_words.ndim == 2 else 1
+    if candidates.size == 0:
+        return _empty_batch_output(nwords, backward=True)
+    rows, parents = reverse_csr.gather_neighbors(candidates)
+    if parents.size == 0:
+        return _empty_batch_output(nwords, backward=True)
+
+    all_lengths = (
+        reverse_csr.row_offsets[candidates + 1] - reverse_csr.row_offsets[candidates]
+    )
+    nonzero_mask = all_lengths > 0
+    seg_lengths = all_lengths[nonzero_mask]
+    seg_candidates = candidates[nonzero_mask]
+    seg_starts = np.zeros(seg_lengths.size, dtype=np.int64)
+    np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
+
+    pulled = np.bitwise_or.reduceat(
+        parent_words[np.asarray(parents, dtype=np.int64)], seg_starts, axis=0
+    )
+    gained = pulled & wanted_words[nonzero_mask]
+    found = gained.any(axis=1)
+    return BatchKernelOutput(
+        discovered=seg_candidates[found],
+        words=gained[found],
+        edges_examined=int(parents.size),
+        backward=True,
     )

@@ -18,6 +18,11 @@ Shipped programs
     Min-label propagation to a fixpoint over the (symmetric) edges.
 :class:`KHopReachability`
     BFS truncated after ``max_hops`` super-steps.
+:class:`BatchedBFSLevels` / :class:`BatchedReachability`
+    MS-BFS style batches: B sources share one frontier sweep through
+    :meth:`repro.core.engine.TraversalEngine.run_batch`, with per-lane
+    answers bit-identical to the sequential programs (the serving path's
+    workhorse; see :mod:`repro.core.programs.batched`).
 
 Writing your own program means subclassing :class:`FrontierProgram` and
 implementing ``init_state`` / ``visit_value`` / ``make_result`` (plus
@@ -26,6 +31,11 @@ implementing ``init_state`` / ``visit_value`` / ``make_result`` (plus
 """
 
 from repro.core.programs.base import FrontierProgram, ProgramInit, VisitContext
+from repro.core.programs.batched import (
+    BatchedBFSLevels,
+    BatchedFrontierProgram,
+    BatchedReachability,
+)
 from repro.core.programs.bfs_levels import BFSLevels
 from repro.core.programs.bfs_parents import BFSParents
 from repro.core.programs.components import ConnectedComponents
@@ -39,4 +49,7 @@ __all__ = [
     "BFSParents",
     "ConnectedComponents",
     "KHopReachability",
+    "BatchedFrontierProgram",
+    "BatchedBFSLevels",
+    "BatchedReachability",
 ]

@@ -1,0 +1,129 @@
+"""Batched (MS-BFS style) frontier programs: B sources, one frontier sweep.
+
+The sequential engine answers one traversal per run; serving workloads want
+*throughput*.  The classic fix — Then et al.'s multi-source BFS, a natural
+extension of the paper's packed delegate bitmasks — runs a whole batch of B
+sources through one level-synchronous sweep: every vertex carries a B-wide
+lane bitset (:class:`repro.utils.bitmask.BatchBitmask` rows) recording which
+sources have reached it, the visit kernels OR-propagate lane words instead of
+marking single bits, the nn exchange ships (vertex, source-bitset) pairs, and
+one delegate reduction of ``d x B`` bits serves the whole batch.
+
+Because every lane advances in lock-step through the same level-synchronous
+super-steps, each lane's answer is *bit-identical* to a sequential run from
+that lane's source — the batch changes the execution schedule, never the
+answers.  The engine entry point is
+:meth:`repro.core.engine.TraversalEngine.run_batch`.
+
+A :class:`BatchedFrontierProgram` is intentionally narrower than the
+sequential :class:`repro.core.programs.FrontierProgram`: batched traversals
+are visit-once, mask-channel, level-valued by construction (that is what
+makes the lane-bitset representation exact), so the hooks reduce to seeding,
+recording newly-visited (vertex, lanes) pairs per level, and wrapping the
+result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.results import BatchResult
+from repro.core.state import UNVISITED
+from repro.partition.subgraphs import PartitionedGraph
+
+__all__ = ["BatchedFrontierProgram", "BatchedBFSLevels", "BatchedReachability"]
+
+
+class BatchedFrontierProgram(ABC):
+    """One batch of B single-source traversals sharing a frontier sweep.
+
+    Parameters
+    ----------
+    sources:
+        One source vertex per batch lane.  Duplicates are legal (lanes are
+        independent) but wasteful; the serving layer deduplicates upstream.
+    """
+
+    #: Short name used in result summaries.
+    name: str = "batched"
+    #: Stop after this many super-steps (``None`` = run to fixpoint).
+    max_levels: int | None = None
+
+    def __init__(self, sources) -> None:
+        self.sources = [int(s) for s in np.asarray(sources, dtype=np.int64).ravel()]
+        if not self.sources:
+            raise ValueError("a batched program needs at least one source")
+
+    @property
+    def width(self) -> int:
+        """Batch width B: one lane per source."""
+        return len(self.sources)
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def begin(self, graph: PartitionedGraph) -> None:
+        """Allocate the per-lane answer arrays and record the sources (level 0)."""
+        for source in self.sources:
+            if not 0 <= source < graph.num_vertices:
+                raise ValueError(
+                    f"source {source} out of range [0, {graph.num_vertices})"
+                )
+        self._levels = np.full(
+            (self.width, graph.num_vertices), UNVISITED, dtype=np.int64
+        )
+        self._levels[np.arange(self.width), self.sources] = 0
+
+    def record(self, global_ids: np.ndarray, words: np.ndarray, level: int) -> None:
+        """Record newly-visited vertices: lane ``l`` of ``words[i]`` set means
+        ``global_ids[i]`` was first reached at ``level`` by source ``l``."""
+        if global_ids.size == 0:
+            return
+        words = np.asarray(words, dtype=np.uint64)
+        for lane in range(self.width):
+            bit = (words[:, lane >> 6] >> np.uint64(lane & 63)) & np.uint64(1)
+            hit = global_ids[bit.astype(bool)]
+            if hit.size:
+                self._levels[lane, hit] = level
+
+    @abstractmethod
+    def make_result(self, base: dict) -> BatchResult:
+        """Wrap the per-lane level matrix into the batch result type."""
+
+
+class BatchedBFSLevels(BatchedFrontierProgram):
+    """MS-BFS: hop distances from B sources in one sweep.
+
+    Lane ``l`` of the result's ``distances`` matrix is bit-identical to
+    ``BFSLevels(source=sources[l])`` run sequentially.
+    """
+
+    name = "batched-bfs"
+
+    def make_result(self, base: dict) -> BatchResult:
+        return BatchResult(sources=list(self.sources), distances=self._levels, **base)
+
+
+class BatchedReachability(BatchedFrontierProgram):
+    """Batched k-hop reachability: B sources, distances capped at ``max_hops``.
+
+    Lane ``l`` is bit-identical to ``KHopReachability(sources[l], max_hops)``.
+    """
+
+    name = "batched-k-hop"
+
+    def __init__(self, sources, max_hops: int) -> None:
+        super().__init__(sources)
+        if max_hops < 0:
+            raise ValueError(f"max_hops must be >= 0, got {max_hops}")
+        self.max_levels = int(max_hops)
+
+    def make_result(self, base: dict) -> BatchResult:
+        return BatchResult(
+            sources=list(self.sources),
+            distances=self._levels,
+            max_hops=self.max_levels,
+            **base,
+        )

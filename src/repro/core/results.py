@@ -34,6 +34,7 @@ __all__ = [
     "ParentTreeResult",
     "ComponentsResult",
     "ReachabilityResult",
+    "BatchResult",
 ]
 
 
@@ -244,6 +245,91 @@ class ComponentsResult(TraversalResult):
             {
                 "components": self.num_components,
                 "largest_component": self.largest_component_size,
+            }
+        )
+        return base
+
+
+@dataclass
+class BatchResult(TraversalResult):
+    """Outcome of one batched (MS-BFS style) run: B sources, one sweep.
+
+    ``distances`` is a ``(B, num_vertices)`` matrix whose lane ``l`` is
+    bit-identical to a sequential BFS (or k-hop, when ``max_hops`` is set)
+    from ``sources[l]``.  The counters, records and timing describe the
+    *shared* batched sweep — one traversal that answered B queries — so the
+    per-lane views produced by :meth:`result_for_lane` carry the whole
+    batch's cost, not a per-lane split (there is no physically meaningful
+    way to split one fused sweep).
+    """
+
+    algorithm: ClassVar[str] = "batched-bfs"
+
+    sources: list = field(default_factory=list)
+    #: ``(B, num_vertices)`` hop levels, ``-1`` = unreached (within the cap).
+    distances: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), dtype=np.int64))
+    #: Hop cap shared by every lane; ``None`` = plain BFS to completion.
+    max_hops: int | None = None
+
+    @property
+    def width(self) -> int:
+        """Batch width B (number of lanes / sources)."""
+        return len(self.sources)
+
+    def distances_for(self, lane: int) -> np.ndarray:
+        """The per-vertex hop levels of one lane."""
+        if not 0 <= lane < self.width:
+            raise IndexError(f"lane {lane} out of range [0, {self.width})")
+        return self.distances[lane]
+
+    def result_for_lane(self, lane: int) -> TraversalResult:
+        """A per-source view of one lane, in the sequential result vocabulary.
+
+        The answer arrays are the lane's own; iterations are reconstructed
+        from the lane's depth (a lane from source ``s`` reaching depth ``D``
+        behaves like a sequential run of ``D + 1`` super-steps); counters and
+        timing are the shared batch's.
+        """
+        values = self.distances_for(lane)
+        reached = values[values >= 0]
+        depth = int(reached.max()) if reached.size else 0
+        iterations = depth + 1
+        if self.max_hops is not None:
+            iterations = min(iterations, self.max_hops)
+        base = {
+            "iterations": iterations,
+            "records": self.records,
+            "timing": self.timing,
+            "comm_stats": self.comm_stats,
+            "total_edges_examined": self.total_edges_examined,
+            "num_directed_edges": self.num_directed_edges,
+            "wall_s": self.wall_s,
+        }
+        if self.max_hops is not None:
+            return ReachabilityResult(
+                source=int(self.sources[lane]),
+                max_hops=self.max_hops,
+                distances=values,
+                **base,
+            )
+        return BFSResult(source=int(self.sources[lane]), distances=values, **base)
+
+    def per_source_results(self) -> list:
+        """One per-lane view per source, in lane order."""
+        return [self.result_for_lane(lane) for lane in range(self.width)]
+
+    @property
+    def num_visited(self) -> int:
+        """Total (vertex, lane) pairs reached across the batch."""
+        return int(np.count_nonzero(self.distances >= 0))
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update(
+            {
+                "batch_width": self.width,
+                "visited": self.num_visited,
+                "max_hops": self.max_hops,
             }
         )
         return base

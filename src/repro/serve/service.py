@@ -1,0 +1,244 @@
+"""The batched query service: admission queue + MS-BFS batches + result cache.
+
+:class:`QueryService` turns the one-traversal-at-a-time engine into a
+query-serving system:
+
+1. **Admission queue** — incoming single-source queries are buffered and, at
+   each :meth:`QueryService.flush`, coalesced: duplicates of the same pending
+   query merge into one, cached answers are served from memory, and only the
+   remaining unique misses reach the engine.
+2. **Batched execution** — the misses are chunked into batches of up to
+   ``batch_size`` lanes and run through the engine's MS-BFS path
+   (:meth:`repro.core.engine.TraversalEngine.run_batch`), one fused frontier
+   sweep per batch; per-lane answers are bit-identical to sequential runs,
+   so callers cannot observe the batching (``batched=False`` falls back to
+   per-source sequential runs — the before/after baseline of the serving
+   benchmarks).
+3. **Result cache** — answers land in an LRU keyed by
+   ``(options, program, source, max_hops)`` with hit/miss/eviction counters;
+   on skewed traffic the cache and the batching compound.
+
+The service is synchronous and deterministic: the measured wall-clock is the
+saturated closed-loop throughput, and every counter depends only on the
+(graph, options, query stream) triple — never on timing — so serving
+scenarios can sit in the perf-regression harness next to the traversal ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.programs import (
+    BatchedBFSLevels,
+    BatchedReachability,
+    BFSLevels,
+    KHopReachability,
+)
+from repro.serve.cache import LRUCache
+from repro.serve.workload import Query
+
+__all__ = ["ServiceStats", "QueryService"]
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative service-level counters (cache counters live on the cache)."""
+
+    #: Queries answered (one per submitted query that completed a flush).
+    queries: int = 0
+    #: Flush rounds executed.
+    flushes: int = 0
+    #: Pending duplicates merged into an already-pending identical query.
+    coalesced: int = 0
+    #: Batched engine sweeps executed.
+    batches: int = 0
+    #: Sources answered by batched sweeps.
+    batched_sources: int = 0
+    #: Sources answered by sequential single-source runs.
+    sequential_sources: int = 0
+    #: Wall-clock seconds spent inside flushes (traversals + cache work).
+    wall_s: float = 0.0
+
+    @property
+    def traversals(self) -> int:
+        """Engine runs performed (one per batch, one per sequential source)."""
+        return self.batches + self.sequential_sources
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Closed-loop throughput so far (0.0 before any timed work)."""
+        return self.queries / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "flushes": self.flushes,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "batched_sources": self.batched_sources,
+            "sequential_sources": self.sequential_sources,
+            "traversals": self.traversals,
+            "wall_s": self.wall_s,
+            "queries_per_sec": self.queries_per_sec,
+        }
+
+
+class QueryService:
+    """Serves single-source traversal queries over one built graph.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`repro.core.engine.TraversalEngine` (or anything exposing
+        ``run`` / ``run_batch`` and ``options``) bound to the graph being
+        served.
+    batch_size:
+        Maximum lanes per fused sweep; 1 disables batching outright.
+    cache_size:
+        LRU capacity in results.
+    batched:
+        ``False`` answers every miss with a sequential single-source run —
+        the baseline mode of the serving benchmarks.
+    """
+
+    def __init__(
+        self,
+        engine,
+        batch_size: int = 32,
+        cache_size: int = 1024,
+        batched: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.engine = engine
+        self.batch_size = int(batch_size)
+        self.batched = bool(batched) and self.batch_size > 1
+        self.cache = LRUCache(cache_size)
+        self.stats = ServiceStats()
+        self._pending: list[tuple[Query, tuple]] = []
+        self._options_label = engine.options.label()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def key_of(self, query: Query) -> tuple:
+        """The cache key: engine options + program identity + source."""
+        return (self._options_label, query.program, int(query.source), query.max_hops)
+
+    @property
+    def pending(self) -> int:
+        """Queries admitted but not yet flushed."""
+        return len(self._pending)
+
+    def submit(self, query: Query) -> int:
+        """Queue one query; returns its position in the next flush's results."""
+        ticket = len(self._pending)
+        self._pending.append((query, self.key_of(query)))
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def flush(self) -> list:
+        """Answer every pending query; results in submission order.
+
+        Cache hits are served from memory; the remaining unique misses are
+        coalesced and traversed — in fused batches of up to ``batch_size``
+        when batching is on — and their results cached.
+        """
+        pending, self._pending = self._pending, []
+        started = time.perf_counter()
+        answers: dict[tuple, object] = {}
+        miss_queries: list[Query] = []
+        for query, key in pending:
+            if key in answers:
+                self.stats.coalesced += 1
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                answers[key] = cached
+            else:
+                answers[key] = None  # placeholder: traversal pending
+                miss_queries.append(query)
+
+        for family, queries in self._group_misses(miss_queries).items():
+            for start in range(0, len(queries), self.batch_size):
+                chunk = queries[start:start + self.batch_size]
+                self._run_chunk(family, chunk, answers)
+
+        results = [answers[key] for _, key in pending]
+        self.stats.queries += len(pending)
+        self.stats.flushes += 1
+        self.stats.wall_s += time.perf_counter() - started
+        return results
+
+    def serve(self, queries, wave_size: int | None = None) -> list:
+        """Closed-loop replay: admit ``queries`` in waves and flush each wave.
+
+        ``wave_size`` (default: ``batch_size``) models clients whose next
+        request waits for the previous wave — the standard closed-loop
+        harness.  Returns all results in stream order.
+        """
+        if wave_size is None:
+            wave_size = self.batch_size
+        if wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {wave_size}")
+        queries = list(queries)
+        results: list = []
+        for start in range(0, len(queries), wave_size):
+            for query in queries[start:start + wave_size]:
+                self.submit(query)
+            results.extend(self.flush())
+        return results
+
+    def query(self, query: Query):
+        """Answer one query immediately (submit + flush).
+
+        Anything else already pending is flushed along with it; the returned
+        result is this query's own (by its admission ticket).
+        """
+        ticket = self.submit(query)
+        return self.flush()[ticket]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_misses(misses: list[Query]) -> dict[tuple, list[Query]]:
+        """Group uncached queries into batchable families."""
+        families: dict[tuple, list[Query]] = {}
+        for query in misses:
+            families.setdefault((query.program, query.max_hops), []).append(query)
+        return families
+
+    def _run_chunk(self, family: tuple, chunk: list[Query], answers: dict) -> None:
+        """Traverse one chunk of a family and record/cache its results."""
+        program, max_hops = family
+        sources = [query.source for query in chunk]
+        if self.batched and len(chunk) > 1:
+            if program == "khop":
+                batch = self.engine.run_batch(BatchedReachability(sources, max_hops))
+            else:
+                batch = self.engine.run_batch(BatchedBFSLevels(sources))
+            produced = batch.per_source_results()
+            self.stats.batches += 1
+            self.stats.batched_sources += len(chunk)
+        else:
+            produced = []
+            for source in sources:
+                if program == "khop":
+                    produced.append(
+                        self.engine.run(KHopReachability(source=source, max_hops=max_hops))
+                    )
+                else:
+                    produced.append(self.engine.run(BFSLevels(source=source)))
+            self.stats.sequential_sources += len(chunk)
+        for query, result in zip(chunk, produced):
+            key = self.key_of(query)
+            answers[key] = result
+            self.cache.put(key, result)
+
+    def stats_snapshot(self) -> dict:
+        """Service and cache counters in one JSON-stable dictionary."""
+        return {"service": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}

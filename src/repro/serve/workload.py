@@ -1,0 +1,140 @@
+"""Deterministic query workloads for the serving benchmark.
+
+Real query traffic against a social/web graph is heavily skewed: a small set
+of popular sources (celebrity profiles, hub pages) receives most of the
+requests.  :class:`ZipfWorkload` replays that shape deterministically — every
+random draw goes through :mod:`repro.utils.rng`, so the same spec produces a
+bit-identical query stream on any machine, which is what lets the bench
+harness treat queries/second scenarios like any other pinned scenario.
+
+The generator is *closed-loop*: the stream is materialised up front and the
+service consumes it as fast as it can, so the measured rate is the system's
+saturated throughput (open-loop arrival processes measure latency under an
+offered load instead — a different experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import hash64, make_rng
+
+__all__ = ["Query", "ZipfWorkload", "zipf_ranks"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One client request: a single-source traversal of a named program."""
+
+    #: Which program to run: ``"levels"`` (full BFS) or ``"khop"``.
+    program: str
+    #: The source vertex.
+    source: int
+    #: Hop cap for ``khop`` queries (ignored for ``levels``).
+    max_hops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.program not in ("levels", "khop"):
+            raise ValueError(f"unknown query program {self.program!r}")
+        if self.program == "khop" and (self.max_hops is None or self.max_hops < 0):
+            raise ValueError("khop queries need max_hops >= 0")
+
+
+def zipf_ranks(count: int, pool: int, skew: float, rng) -> np.ndarray:
+    """Draw ``count`` ranks in ``[0, pool)`` with ``P(r) ∝ (r + 1)^-skew``.
+
+    ``skew = 0`` is uniform; larger values concentrate mass on low ranks
+    (``skew ≈ 1`` is the classic Zipf web-traffic shape).
+    """
+    if pool < 1:
+        raise ValueError(f"pool must be >= 1, got {pool}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    weights = np.power(np.arange(1, pool + 1, dtype=np.float64), -float(skew))
+    weights /= weights.sum()
+    return make_rng(rng).choice(pool, size=int(count), p=weights)
+
+
+@dataclass(frozen=True)
+class ZipfWorkload:
+    """A pinned, replayable Zipf-skewed query stream.
+
+    Parameters
+    ----------
+    num_queries:
+        Stream length.
+    skew:
+        Zipf exponent of the popularity distribution (0 = uniform).
+    pool:
+        Size of the candidate source pool the ranks map onto; the effective
+        pool is capped at the number of valid (non-isolated) sources.
+    seed:
+        Drives both the popularity order (which vertex gets which rank) and
+        the per-query rank draws.
+    program:
+        Query program for every request (``"levels"`` or ``"khop"``).
+    max_hops:
+        Hop cap for ``khop`` streams.
+    """
+
+    num_queries: int = 256
+    skew: float = 1.0
+    pool: int = 64
+    seed: int = 11
+    program: str = "levels"
+    max_hops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ValueError(f"num_queries must be >= 1, got {self.num_queries}")
+        if self.pool < 1:
+            raise ValueError(f"pool must be >= 1, got {self.pool}")
+        if self.skew < 0:
+            raise ValueError(f"skew must be non-negative, got {self.skew}")
+        if self.program not in ("levels", "khop"):
+            raise ValueError(f"unknown query program {self.program!r}")
+        if self.program == "khop" and (self.max_hops is None or self.max_hops < 0):
+            raise ValueError("khop workloads need max_hops >= 0")
+
+    def sources(self, num_vertices: int, degrees: np.ndarray | None = None) -> np.ndarray:
+        """The stream's source vertices, in request order.
+
+        Candidates are the non-isolated vertices (when ``degrees`` is given),
+        assigned popularity ranks by a seeded hash shuffle; rank 0 is the
+        hottest source.  Everything is deterministic in ``(spec, graph)``.
+        """
+        if num_vertices < 1:
+            raise ValueError("graph has no vertices to query")
+        if degrees is not None:
+            candidates = np.flatnonzero(np.asarray(degrees) > 0).astype(np.int64)
+            if candidates.size == 0:
+                raise ValueError("all vertices are isolated; no valid query sources")
+        else:
+            candidates = np.arange(num_vertices, dtype=np.int64)
+        # Popularity order: a deterministic hash shuffle of the candidates,
+        # so the hot set is scattered over the id space (not just low ids).
+        order = np.argsort(hash64(candidates.astype(np.uint64), seed=self.seed), kind="stable")
+        pool = min(self.pool, candidates.size)
+        ranked = candidates[order[:pool]]
+        ranks = zipf_ranks(self.num_queries, pool, self.skew, rng=self.seed + 1)
+        return ranked[ranks]
+
+    def generate(self, num_vertices: int, degrees: np.ndarray | None = None) -> list[Query]:
+        """Materialise the query stream for a graph of ``num_vertices``."""
+        return [
+            Query(program=self.program, source=int(s), max_hops=self.max_hops)
+            for s in self.sources(num_vertices, degrees)
+        ]
+
+    def describe(self) -> dict:
+        """JSON-stable description for bench artifacts."""
+        return {
+            "num_queries": self.num_queries,
+            "skew": self.skew,
+            "pool": self.pool,
+            "seed": self.seed,
+            "program": self.program,
+            "max_hops": self.max_hops,
+        }

@@ -211,6 +211,16 @@ class Session:
         """Build (if needed) and run a multi-source campaign."""
         return self.build().campaign(*args, **kwargs)
 
+    def run_many(self, *args, **kwargs) -> Campaign:
+        """Build (if needed) and run many sources; see
+        :meth:`GraphSession.run_many`."""
+        return self.build().run_many(*args, **kwargs)
+
+    def serve(self, *args, **kwargs):
+        """Build (if needed) and start a query service; see
+        :meth:`GraphSession.serve`."""
+        return self.build().serve(*args, **kwargs)
+
     def bench(self, *args, **kwargs) -> dict:
         """Build (if needed) and wall-clock benchmark a program; see
         :meth:`GraphSession.bench`."""
@@ -281,6 +291,68 @@ class GraphSession:
             program_factory=program_factory,
             validate=validate,
             on_result=on_result,
+        )
+
+    def run_many(
+        self,
+        sources: np.ndarray | list[int] | int,
+        program: str = "levels",
+        batch_size: int | str | None = "auto",
+        max_hops: int = 3,
+        seed: int = 11,
+    ) -> Campaign:
+        """Run one single-source program per source, batched when possible.
+
+        Compatible source lists (``levels`` and ``khop`` — the visit-once,
+        level-valued programs) are deduplicated and routed through the
+        engine's fused MS-BFS path in sweeps of up to ``batch_size`` lanes;
+        answers are bit-identical to sequential runs.  ``batch_size="auto"``
+        picks the engine default; ``None``/1 forces sequential execution.
+
+        ``sources`` may be explicit vertices or a count of random sources
+        (drawn as in :meth:`campaign`).
+        """
+        if isinstance(sources, (int, np.integer)):
+            from repro.graph.degree import out_degrees
+            from repro.utils.rng import random_sources
+
+            sources = random_sources(
+                self.edges.num_vertices,
+                int(sources),
+                rng=seed,
+                degrees=out_degrees(self.edges),
+            )
+        sources = [int(s) for s in np.asarray(sources, dtype=np.int64).ravel()]
+        if program == "levels":
+            programs = [BFSLevels(source=s) for s in sources]
+        elif program == "khop":
+            programs = [KHopReachability(source=s, max_hops=max_hops) for s in sources]
+        else:
+            raise ValueError(
+                f"unknown program {program!r}; run_many batches 'levels' or 'khop'"
+            )
+        if batch_size == "auto":
+            from repro.core.engine import DEFAULT_BATCH_SIZE
+
+            batch_size = DEFAULT_BATCH_SIZE
+        return self.engine.run_many(programs, batch_size=batch_size)
+
+    def serve(self, batch_size: int = 32, cache_size: int = 1024, batched: bool = True):
+        """A :class:`repro.serve.QueryService` bound to this graph.
+
+        >>> import repro  # doctest: +SKIP
+        >>> service = repro.session().generate(scale=14).serve(batch_size=32)
+        >>> from repro.serve import Query
+        >>> service.query(Query("levels", source=0)).distances.shape
+        (16384,)
+        """
+        from repro.serve import QueryService
+
+        return QueryService(
+            self.engine,
+            batch_size=batch_size,
+            cache_size=cache_size,
+            batched=batched,
         )
 
     def bench(

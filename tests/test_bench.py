@@ -245,10 +245,18 @@ class TestRegistry:
         kinds = {s.kind for s in REGISTRY}
         options = {s.options.label() for s in REGISTRY}
         thresholds = {s.threshold for s in REGISTRY}
-        assert programs == {"levels", "parents", "components", "khop"}
+        assert programs == {"levels", "parents", "components", "khop", "serve"}
         assert kinds == {"rmat", "uniform", "wdc"}
         assert {"DO+BR", "plain+BR", "DO+IR", "DO+L+U+BR"} <= options
         assert len(thresholds) > 1  # delegate-threshold sweep present
+
+    def test_serve_scenarios_sweep_batch_and_skew(self):
+        serve = [s for s in REGISTRY if s.program == "serve"]
+        assert len(serve) >= 3
+        assert len({s.batch_size for s in serve}) > 1  # batch-size sweep
+        assert len({s.zipf_skew for s in serve}) > 1  # skew sweep
+        assert any(s.batch_size >= 16 and s.zipf_skew > 0 for s in serve)
+        assert all(s.quick for s in serve)  # qps tracked by the CI smoke run
 
     def test_find_scenarios(self):
         found = find_scenarios(["rmat14-components", "rmat14-levels-do-br"])
