@@ -46,6 +46,7 @@ per-figure experiment harnesses.
 
 from repro.bench import compare_artifacts, load_artifact, quick_scenarios, run_suite
 from repro.cluster import HardwareSpec, NetworkModel
+from repro.exec import ExecutionBackend, InlineBackend
 from repro.core import (
     BatchedBFSLevels,
     BatchedReachability,
@@ -110,6 +111,9 @@ __all__ = [
     "BFSOptions",
     "HardwareSpec",
     "NetworkModel",
+    # execution backends ("ProcessBackend" imports lazily from repro.exec)
+    "ExecutionBackend",
+    "InlineBackend",
     # fluent facade
     "session",
     "Session",

@@ -20,6 +20,14 @@ a slowdown.
 
 The schema is versioned; :func:`load_artifact` refuses documents it does not
 understand instead of mis-comparing them.
+
+Each record additionally carries the resolved execution ``backend``
+(``inline`` / ``process``) that ran the scenario.  The backend deliberately
+lives *next to* the spec, not inside it: the spec identifies the workload,
+counters are backend-invariant by construction, and keeping the spec
+backend-free lets the comparator diff an inline artifact against a
+process-pool artifact of the same scenarios — any counter difference then
+surfaces as counter drift, i.e. a backend correctness bug.
 """
 
 from __future__ import annotations

@@ -154,6 +154,7 @@ def run_serve_scenario(
     repeats: int = 2,
     check_determinism: bool = True,
     serve_batched: bool = True,
+    backend: str | None = None,
 ) -> dict:
     """Execute one serving scenario: replay its query stream, measure qps.
 
@@ -162,8 +163,9 @@ def run_serve_scenario(
     passes); wall time keeps the fastest pass.  The counters — query,
     coalescing and cache statistics plus an order-mixed checksum of every
     answer — are deterministic and, by construction, identical whether the
-    service batches or runs sequentially (``serve_batched=False``), which is
-    what makes a before/after artifact pair cleanly comparable.
+    service batches or runs sequentially (``serve_batched=False``) and
+    whichever execution backend runs the sweeps, which is what makes
+    before/after artifact pairs cleanly comparable.
     """
     from repro.serve.service import QueryService
 
@@ -177,7 +179,9 @@ def run_serve_scenario(
     )
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
-    engine = TraversalEngine(graph, options=spec.options)
+    engine = TraversalEngine(
+        graph, options=spec.options, backend=backend or spec.backend
+    )
 
     from repro.graph.degree import out_degrees
 
@@ -188,47 +192,51 @@ def run_serve_scenario(
     counters: dict | None = None
     modeled_ms = 0.0
     throughput: dict | None = None
-    for _ in range(repeats):
-        service = QueryService(
-            engine,
-            batch_size=spec.batch_size,
-            cache_size=spec.cache_size,
-            batched=serve_batched,
-        )
-        results = service.serve(stream)
-        checksum = 0
-        modeled = 0.0
-        seen: set[int] = set()
-        for i, result in enumerate(results):
-            checksum ^= int(hash64(np.uint64(values_checksum(result)), seed=i + 1))
-            if id(result) not in seen:
-                seen.add(id(result))
-                modeled += float(result.timing.elapsed_ms)
-        current = {
-            "queries": service.stats.queries,
-            "flushes": service.stats.flushes,
-            "coalesced": service.stats.coalesced,
-            "cache_hits": service.cache.stats.hits,
-            "cache_misses": service.cache.stats.misses,
-            "cache_evictions": service.cache.stats.evictions,
-            "answers_checksum": checksum,
-        }
-        if counters is None:
-            counters = current
-            modeled_ms = modeled
-            throughput = {
-                "queries": service.stats.queries,
-                "batched": bool(serve_batched),
-                "batch_size": spec.batch_size,
-                "traversals": service.stats.traversals,
-                "batches": service.stats.batches,
-            }
-        elif check_determinism and current != counters:
-            raise BenchDeterminismError(
-                "serving counters differ between two identical passes: "
-                f"{counters} vs {current}"
+    try:
+        backend_name = engine.backend_name
+        for _ in range(repeats):
+            service = QueryService(
+                engine,
+                batch_size=spec.batch_size,
+                cache_size=spec.cache_size,
+                batched=serve_batched,
             )
-        walls.append(service.stats.wall_s)
+            results = service.serve(stream)
+            checksum = 0
+            modeled = 0.0
+            seen: set[int] = set()
+            for i, result in enumerate(results):
+                checksum ^= int(hash64(np.uint64(values_checksum(result)), seed=i + 1))
+                if id(result) not in seen:
+                    seen.add(id(result))
+                    modeled += float(result.timing.elapsed_ms)
+            current = {
+                "queries": service.stats.queries,
+                "flushes": service.stats.flushes,
+                "coalesced": service.stats.coalesced,
+                "cache_hits": service.cache.stats.hits,
+                "cache_misses": service.cache.stats.misses,
+                "cache_evictions": service.cache.stats.evictions,
+                "answers_checksum": checksum,
+            }
+            if counters is None:
+                counters = current
+                modeled_ms = modeled
+                throughput = {
+                    "queries": service.stats.queries,
+                    "batched": bool(serve_batched),
+                    "batch_size": spec.batch_size,
+                    "traversals": service.stats.traversals,
+                    "batches": service.stats.batches,
+                }
+            elif check_determinism and current != counters:
+                raise BenchDeterminismError(
+                    "serving counters differ between two identical passes: "
+                    f"{counters} vs {current}"
+                )
+            walls.append(service.stats.wall_s)
+    finally:
+        engine.close()
 
     serve_wall = min(walls)
     throughput["queries_per_sec"] = (
@@ -243,6 +251,7 @@ def run_serve_scenario(
     return {
         "spec": spec.describe(),
         "repeats": repeats,
+        "backend": backend_name,
         "threshold_used": int(threshold),
         "workload": workload.describe(),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
@@ -257,6 +266,7 @@ def run_scenario(
     repeats: int = 2,
     check_determinism: bool | None = None,
     serve_batched: bool = True,
+    backend: str | None = None,
 ) -> dict:
     """Execute one scenario end to end; return its artifact record.
 
@@ -272,6 +282,10 @@ def run_scenario(
     serve_batched:
         For serving scenarios only: route misses through the batched MS-BFS
         path (the default) or the sequential baseline.
+    backend:
+        Execution backend override; ``None`` runs the scenario's own
+        (``spec.backend``).  The resolved name is recorded in the record's
+        ``backend`` key — never in the spec, which identifies the workload.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -285,6 +299,7 @@ def run_scenario(
             repeats=repeats,
             check_determinism=check_determinism,
             serve_batched=serve_batched,
+            backend=backend,
         )
 
     with Timer() as build_timer:
@@ -297,23 +312,29 @@ def run_scenario(
     )
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
-    engine = TraversalEngine(graph, options=spec.options)
+    engine = TraversalEngine(
+        graph, options=spec.options, backend=backend or spec.backend
+    )
 
     sources = spec.pick_sources(edges)
     wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0, "traversal": 0.0}
     modeled = TimingBreakdown()
     per_source_counters: list[dict] = []
-    for source in sources:
-        timed = time_program(
-            engine,
-            lambda: spec.make_program(source),
-            repeats=repeats,
-            check_determinism=check_determinism,
-        )
-        for phase, seconds in timed["wall_s"].items():
-            wall[phase] = wall.get(phase, 0.0) + seconds
-        modeled = modeled + TimingBreakdown(**timed["modeled_ms"])
-        per_source_counters.append(timed["counters"])
+    try:
+        backend_name = engine.backend_name
+        for source in sources:
+            timed = time_program(
+                engine,
+                lambda: spec.make_program(source),
+                repeats=repeats,
+                check_determinism=check_determinism,
+            )
+            for phase, seconds in timed["wall_s"].items():
+                wall[phase] = wall.get(phase, 0.0) + seconds
+            modeled = modeled + TimingBreakdown(**timed["modeled_ms"])
+            per_source_counters.append(timed["counters"])
+    finally:
+        engine.close()
 
     wall["graph_build"] = build_timer.elapsed
     wall["partition"] = partition_timer.elapsed
@@ -321,6 +342,7 @@ def run_scenario(
     return {
         "spec": spec.describe(),
         "repeats": repeats,
+        "backend": backend_name,
         "sources": sources,
         "threshold_used": int(threshold),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
@@ -337,6 +359,7 @@ def run_suite(
     out_path=None,
     on_record: Callable[[str, dict], None] | None = None,
     serve_batched: bool = True,
+    backend: str | None = None,
 ) -> dict:
     """Run a set of scenarios and assemble (optionally write) one artifact.
 
@@ -357,10 +380,15 @@ def run_suite(
     serve_batched:
         Serving scenarios only: batched service (default) or the sequential
         baseline (the "before" half of a before/after artifact pair).
+    backend:
+        Execution-backend override applied to every scenario (``None`` =
+        each scenario's own); recorded per record, never in the spec.
     """
     records: dict[str, dict] = {}
     for spec in specs:
-        record = run_scenario(spec, repeats=repeats, serve_batched=serve_batched)
+        record = run_scenario(
+            spec, repeats=repeats, serve_batched=serve_batched, backend=backend
+        )
         records[spec.name] = record
         if on_record is not None:
             on_record(spec.name, record)

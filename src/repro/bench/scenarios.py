@@ -21,6 +21,13 @@ The registry spans the axes the paper's evaluation varies:
 Scenarios flagged ``quick`` form the CI smoke subset (small scales, a couple
 of seconds each); the rest only run in full sweeps.
 
+Since the engine's execution layer became pluggable, scenarios also carry a
+**backend** axis (``inline`` vs ``process``): the registry pins process-pool
+twins of the large RMAT sweeps, and ``repro bench run --backend`` can force
+any subset onto either backend.  The backend is not part of the scenario
+*spec* — counters are backend-invariant, so cross-backend artifacts must
+compare cleanly — and is recorded per artifact record instead.
+
 Beyond the traversal scenarios, the registry carries **serving** scenarios
 (``program="serve"``): a deterministic Zipf-skewed query stream replayed
 through :class:`repro.serve.QueryService` over the scenario's graph, swept
@@ -42,6 +49,7 @@ from repro.core.programs import (
     ConnectedComponents,
     KHopReachability,
 )
+from repro.exec.backend import BACKEND_NAMES
 from repro.graph.degree import out_degrees
 from repro.graph.edgelist import EdgeList
 from repro.utils.rng import random_sources
@@ -79,6 +87,13 @@ class Scenario:
     max_hops: int = 3
     #: Whether this scenario belongs to the CI smoke subset.
     quick: bool = False
+    #: Execution backend the engine runs super-steps on (``inline`` or
+    #: ``process``).  Deliberately *not* part of :meth:`describe`: the spec
+    #: identifies the workload, and workload counters are backend-invariant
+    #: by construction, so artifacts recorded on different backends stay
+    #: comparable (the comparator flags any drift as a correctness finding).
+    #: The resolved backend is recorded at the artifact-record level instead.
+    backend: str = "inline"
     # --- serving scenarios only (program == "serve") ------------------- #
     #: Lanes per fused MS-BFS sweep.
     batch_size: int = 32
@@ -100,6 +115,10 @@ class Scenario:
             raise ValueError(f"unknown graph kind {self.kind!r}")
         if self.program == "serve" and self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -291,6 +310,25 @@ def _build_registry() -> tuple[Scenario, ...]:
         Scenario("uniform16-levels-do-br", "uniform", 16, "levels", sources=4),
         Scenario("wdc16-levels-do-br", "wdc", 16, "levels", sources=4),
         Scenario("rmat17-levels-do-br", "rmat", 17, "levels", sources=4),
+        # --- execution-backend axis: same workloads on the process pool --- #
+        # Identical specs (and therefore counters) to their inline twins;
+        # only wall-clock differs, which is exactly what the axis measures.
+        Scenario(
+            "rmat16-levels-do-br-process",
+            "rmat",
+            16,
+            "levels",
+            sources=4,
+            backend="process",
+        ),
+        Scenario(
+            "rmat17-levels-do-br-process",
+            "rmat",
+            17,
+            "levels",
+            sources=4,
+            backend="process",
+        ),
     ]
     names = [s.name for s in scenarios]
     if len(set(names)) != len(names):  # pragma: no cover - registry typo guard

@@ -32,7 +32,10 @@ downstream user needs without writing Python:
 All graph subcommands accept either ``--npz PATH`` (a previously generated
 graph) or ``--scale N`` (generate an RMAT graph on the fly); ``bfs``,
 ``components``, ``census`` and ``serve bench`` accept ``--json`` for
-machine-readable output.
+machine-readable output.  The traversal-running subcommands (``bfs``,
+``components``, ``bench run``, ``serve bench``) accept ``--backend
+inline|process`` to choose where super-steps execute (default:
+``$REPRO_BACKEND`` or inline).
 """
 
 from __future__ import annotations
@@ -72,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     bfs = sub.add_parser("bfs", help="partition a graph and run (DO)BFS")
     _add_graph_args(bfs)
     _add_cluster_args(bfs)
+    _add_backend_arg(bfs)
     bfs.add_argument(
         "--algorithm",
         choices=["levels", "parents"],
@@ -92,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_args(comp)
     _add_cluster_args(comp)
+    _add_backend_arg(comp)
     comp.add_argument("--validate", action="store_true", help="check against union-find")
     comp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -133,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run serving scenarios through the sequential baseline instead of "
         "the batched service (the 'before' half of a before/after pair)",
     )
+    from repro.exec.backend import BACKEND_NAMES
+
+    b_run.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="force every scenario onto this execution backend "
+        "(default: each scenario's own, normally inline)",
+    )
 
     b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
     b_cmp.add_argument("old", type=Path, help="baseline artifact")
@@ -167,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_args(s_bench)
     _add_cluster_args(s_bench)
+    _add_backend_arg(s_bench)
     s_bench.add_argument("--queries", type=int, default=256, help="query stream length")
     s_bench.add_argument(
         "--skew", type=float, default=1.0, help="Zipf exponent of source popularity"
@@ -207,6 +222,18 @@ def _add_graph_args(sub: argparse.ArgumentParser) -> None:
 def _add_cluster_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--layout", default="4x1x2", help="nodes x ranks-per-node x gpus-per-rank")
     sub.add_argument("--threshold", type=int, default=None, help="degree threshold TH")
+
+
+def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
+    from repro.exec.backend import BACKEND_NAMES
+
+    sub.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="execution backend for super-steps "
+        "(default: $REPRO_BACKEND or inline)",
+    )
 
 
 def _load_graph(args: argparse.Namespace):
@@ -279,13 +306,13 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         uniquify=args.uniquify,
         blocking_reduce=not args.nonblocking_reduce,
     )
-    engine = TraversalEngine(graph, options=options)
+    engine = TraversalEngine(graph, options=options, backend=args.backend)
     if not args.json:
         print(
             f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
             f"delegates {graph.num_delegates:,} | options {options.label()} | "
-            f"algorithm {args.algorithm}"
+            f"algorithm {args.algorithm} | backend {engine.backend_name}"
         )
 
     if args.source is not None:
@@ -325,9 +352,13 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
             f"normal {t.remote_normal_exchange:.3f} | delegate {t.remote_delegate_reduce:.3f}]"
         )
 
-    campaign = run_campaign(
-        engine, sources, program_factory=program_factory, validate=validate, on_result=report_line
-    )
+    try:
+        campaign = run_campaign(
+            engine, sources, program_factory=program_factory, validate=validate, on_result=report_line
+        )
+        backend_name = engine.backend_name
+    finally:
+        engine.close()
 
     if args.json:
         print(
@@ -336,6 +367,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
                     "graph": _graph_info(edges, layout, threshold, graph),
                     "options": options.label(),
                     "algorithm": args.algorithm,
+                    "backend": backend_name,
                     "runs": [r.summary() for r in campaign],
                     "campaign": campaign.summary(),
                     "validated": bool(args.validate),
@@ -362,8 +394,12 @@ def _cmd_components(args: argparse.Namespace) -> int:
 
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
-    engine = TraversalEngine(graph)
-    result = engine.run(ConnectedComponents())
+    engine = TraversalEngine(graph, backend=args.backend)
+    try:
+        result = engine.run(ConnectedComponents())
+        backend_name = engine.backend_name
+    finally:
+        engine.close()
 
     validated = False
     if args.validate:
@@ -380,6 +416,7 @@ def _cmd_components(args: argparse.Namespace) -> int:
             json.dumps(
                 {
                     "graph": _graph_info(edges, layout, threshold, graph),
+                    "backend": backend_name,
                     "result": result.summary(),
                     "validated": validated,
                 },
@@ -390,7 +427,8 @@ def _cmd_components(args: argparse.Namespace) -> int:
 
     print(
         f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
-        f"cluster {layout.notation()} | TH={threshold} | delegates {graph.num_delegates:,}"
+        f"cluster {layout.notation()} | TH={threshold} | "
+        f"delegates {graph.num_delegates:,} | backend {backend_name}"
     )
     t = result.timing
     print(
@@ -468,17 +506,24 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
     if args.json:
         print(
             json.dumps(
-                [{"name": s.name, "quick": s.quick, **s.describe()} for s in specs],
+                [
+                    {"name": s.name, "quick": s.quick, "backend": s.backend, **s.describe()}
+                    for s in specs
+                ],
                 indent=2,
             )
         )
         return 0
-    print(f"{'name':<28} {'quick':>5}  {'graph':<12} {'program':<10} {'options':<10} TH")
+    print(
+        f"{'name':<28} {'quick':>5}  {'graph':<12} {'program':<10} "
+        f"{'options':<10} {'backend':<8} TH"
+    )
     for s in specs:
         th = "auto" if s.threshold is None else str(s.threshold)
         print(
             f"{s.name:<28} {'yes' if s.quick else 'no':>5}  "
-            f"{s.kind + str(s.scale):<12} {s.program:<10} {s.options.label():<10} {th}"
+            f"{s.kind + str(s.scale):<12} {s.program:<10} {s.options.label():<10} "
+            f"{s.backend:<8} {th}"
         )
     print(f"{len(specs)} scenario(s)")
     return 0
@@ -532,7 +577,8 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         )
 
     if not args.json:
-        print(f"running {len(specs)} scenario(s), repeats={args.repeats}")
+        forced = f", backend={args.backend}" if args.backend else ""
+        print(f"running {len(specs)} scenario(s), repeats={args.repeats}{forced}")
     artifact = run_suite(
         specs,
         label=args.label,
@@ -541,6 +587,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         out_path=out_path,
         on_record=progress,
         serve_batched=not args.serve_sequential,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(artifact, indent=2))
@@ -587,7 +634,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
-    engine = TraversalEngine(graph)
+    engine = TraversalEngine(graph, backend=args.backend)
     workload = ZipfWorkload(
         num_queries=args.queries,
         skew=args.skew,
@@ -602,7 +649,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
-            f"delegates {graph.num_delegates:,}"
+            f"delegates {graph.num_delegates:,} | backend {engine.backend_name}"
         )
         print(
             f"workload: {args.queries} {args.program} queries, "
@@ -620,13 +667,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         service.serve(stream)
         return service
 
-    batched = replay(batched=True)
-    sequential = None if args.no_baseline else replay(batched=False)
+    try:
+        batched = replay(batched=True)
+        sequential = None if args.no_baseline else replay(batched=False)
+        backend_name = engine.backend_name
+    finally:
+        engine.close()
 
     if args.json:
         out = {
             "graph": _graph_info(edges, layout, threshold, graph),
             "workload": workload.describe(),
+            "backend": backend_name,
             "batch_size": args.batch_size,
             "cache_size": args.cache_size,
             "batched": batched.stats_snapshot(),

@@ -31,6 +31,16 @@ engine only moves frontiers, runs kernels and accounts modeled time in the
 paper's four phases (computation/communication overlap is modeled with a
 configurable efficiency as described in §VI-B).
 
+*Where* the kernels run is a third concern, owned by neither engine nor
+program: each super-step is described as a declarative
+:class:`repro.exec.SuperStepPlan` (per-GPU kernel tasks as pure data; the
+exchange, delegate reduction and program folds behind the plan's
+``finalize``) and handed to an :class:`repro.exec.ExecutionBackend` —
+``"inline"`` for the classic in-process simulator, ``"process"`` for a
+persistent worker pool over shared-memory CSR buffers.  Results, workload
+counters and modeled times are backend-independent; only the measured
+``wall_s`` phases change.
+
 :class:`DistributedBFS` remains as the seed's entry point: a thin wrapper
 running :class:`repro.core.programs.BFSLevels` through the generic engine
 with behaviour (answers, iteration counts, modeled timings) identical to the
@@ -50,12 +60,8 @@ from repro.cluster.topology import ClusterTopology
 from repro.core.direction import DirectionState, estimate_backward_workload
 from repro.core.kernels import (
     KernelOutput,
-    backward_visit,
-    batched_backward_visit,
     batched_filter_frontier,
-    batched_forward_visit,
     filter_frontier,
-    forward_visit,
 )
 from repro.core.options import BFSOptions
 from repro.core.programs.base import FrontierProgram, VisitContext
@@ -67,6 +73,14 @@ from repro.core.programs.batched import (
 from repro.core.programs.bfs_levels import BFSLevels
 from repro.core.results import BatchResult, BFSResult, IterationRecord, TraversalResult
 from repro.core.state import UNVISITED, TraversalState
+from repro.exec.backend import ExecutionBackend, resolve_backend
+from repro.exec.plan import (
+    BatchedGPUPlan,
+    BatchedVisitSpec,
+    GPUPlan,
+    SuperStepPlan,
+    VisitSpec,
+)
 from repro.partition.subgraphs import PartitionedGraph
 from repro.utils.bitmask import BatchBitmask, Bitmask
 from repro.utils.timing import TimingBreakdown
@@ -136,6 +150,12 @@ class TraversalEngine:
     hardware:
         Machine parameters for the performance model; defaults to the paper's
         Ray system.
+    backend:
+        Where super-steps execute: an :class:`repro.exec.ExecutionBackend`
+        instance, a registry name (``"inline"`` / ``"process"``), or ``None``
+        to use the ``REPRO_BACKEND`` environment default (inline).  Named
+        backends are created lazily on first use and owned (closed) by the
+        engine; passed-in instances are shared and stay caller-owned.
 
     Examples
     --------
@@ -157,12 +177,16 @@ class TraversalEngine:
         graph: PartitionedGraph,
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
+        backend=None,
     ) -> None:
         self.graph = graph
         self.options = options if options is not None else BFSOptions()
         self.hardware = hardware if hardware is not None else HardwareSpec()
         self.netmodel = NetworkModel(self.hardware)
         self.topology = ClusterTopology(graph.layout)
+        self._backend_spec = backend
+        self._backend = None
+        self._owns_backend = False
         # Cache per-GPU out-degree arrays of every subgraph; they are needed
         # for previsit filtering and forward-workload computation each
         # super-step and never change.
@@ -175,6 +199,71 @@ class TraversalEngine:
             }
             for gpu in graph.gpus
         ]
+
+    # ------------------------------------------------------------------ #
+    # Execution backend
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self):
+        """The live execution backend (resolved lazily on first use)."""
+        if self._backend is None:
+            self._backend, self._owns_backend = resolve_backend(
+                self._backend_spec, self.graph
+            )
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the backend in effect, without forcing creation.
+
+        Reading the name must stay side-effect free (monitoring reads it on
+        idle engines), so an unresolved spec is answered from the spec
+        itself; validation still happens at resolution time.
+        """
+        if self._backend is not None:
+            return self._backend.name
+        spec = self._backend_spec
+        if isinstance(spec, ExecutionBackend):
+            return spec.name
+        from repro.exec.backend import default_backend_name
+
+        return default_backend_name() if spec is None else str(spec).strip().lower()
+
+    def use_backend(self, backend) -> "TraversalEngine":
+        """Switch execution backends (name, instance or ``None`` for default).
+
+        The previously resolved backend is closed if this engine created it;
+        shared instances passed in by the caller are left running.  Asking
+        for the name of the backend already running is a no-op — tearing a
+        process backend down just to re-export the same graph into shared
+        memory would be pure churn.
+        """
+        if backend is not None and backend is self._backend:
+            return self
+        if (
+            isinstance(backend, str)
+            and self._backend is not None
+            and backend.strip().lower() == self._backend.name
+        ):
+            self._backend_spec = backend
+            return self
+        self.close()
+        self._backend_spec = backend
+        return self
+
+    def close(self) -> None:
+        """Release the engine-owned backend (idempotent; engine stays usable —
+        the next run resolves a fresh backend from the current spec)."""
+        if self._backend is not None and self._owns_backend:
+            self._backend.close()
+        self._backend = None
+        self._owns_backend = False
+
+    def __enter__(self) -> "TraversalEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -214,6 +303,7 @@ class TraversalEngine:
         # Wall-clock accounting of the simulation itself (not modeled time):
         # per-phase seconds the bench harness reads off the result.
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
+        backend = self.backend
         run_started = time.perf_counter()
 
         while not state.frontier_empty():
@@ -225,7 +315,10 @@ class TraversalEngine:
                     f"{program.name} exceeded max_iterations={opts.max_iterations}; "
                     "the graph or the engine state is inconsistent"
                 )
-            record = self._super_step(program, state, communicator, dir_states, level, wall)
+            plan_started = time.perf_counter()
+            plan = self._plan_super_step(program, state, communicator, dir_states, level, wall)
+            wall["kernels"] += time.perf_counter() - plan_started
+            record = backend.run_super_step(plan)
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -264,10 +357,18 @@ class TraversalEngine:
         position still receives a per-source result with bit-identical
         answers; counters and timing on those results describe the shared
         batched sweeps.
+
+        A batch never has one lane: ``batch_size`` of ``None``/1, a
+        single-program list, and the final chunk of an uneven split all run
+        through the plain sequential path — a 1-lane sweep would pay the
+        lane-word machinery (``BatchBitmask`` state, OR-dedup exchange) for
+        zero amortization.  Serve hits this with cold caches.
         """
         from repro.core.campaign import Campaign
 
         programs = list(programs)
+        if batch_size is not None and batch_size < 2:
+            batch_size = None
         unique_programs: list = []
         fan: list[int] = []
         index_of: dict[tuple, int] = {}
@@ -317,7 +418,6 @@ class TraversalEngine:
         opts = self.options
         graph = self.graph
         p = graph.num_gpus
-        d = graph.num_delegates
         width = program.width
         nwords = (width + 63) // 64
 
@@ -342,6 +442,7 @@ class TraversalEngine:
         total_edges = 0
         level = 0
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
+        backend = self.backend
         run_started = time.perf_counter()
 
         while not state.frontier_empty():
@@ -353,9 +454,12 @@ class TraversalEngine:
                     f"{program.name} exceeded max_iterations={opts.max_iterations}; "
                     "the graph or the engine state is inconsistent"
                 )
-            record = self._batched_super_step(
+            plan_started = time.perf_counter()
+            plan = self._plan_batched_super_step(
                 program, state, communicator, dir_states, level, full_words, wall
             )
+            wall["kernels"] += time.perf_counter() - plan_started
+            record = backend.run_super_step(plan)
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -381,16 +485,26 @@ class TraversalEngine:
     # ------------------------------------------------------------------ #
     # One super-step
     # ------------------------------------------------------------------ #
-    def _super_step(
+    def _plan_super_step(
         self,
         program: FrontierProgram,
         state: TraversalState,
         communicator: Communicator,
         dir_states: dict[str, list[DirectionState]],
         level: int,
-        wall: dict | None = None,
-    ) -> IterationRecord:
-        opts = self.options
+        wall: dict,
+    ) -> SuperStepPlan:
+        """Describe one super-step as a backend-executable plan.
+
+        The planning pass reproduces the seed engine's pre-kernel work in
+        the same order — previsit filtering, backward-candidate construction
+        and the (stateful) per-subgraph direction decisions — and emits one
+        :class:`repro.exec.GPUPlan` of pure-data kernel tasks per GPU.  The
+        plan's ``finalize`` closure is the historical post-kernel half
+        (program folds, nn exchange, delegate reduction, modeled timing),
+        always run on the coordinating process, so results, counters and
+        modeled times are identical under every backend.
+        """
         graph = self.graph
         p = graph.num_gpus
         d = graph.num_delegates
@@ -410,6 +524,181 @@ class TraversalEngine:
         else:
             unvisited_delegates = np.zeros(0, dtype=np.int64)
 
+        normal_frontier_total = int(sum(f.size for f in state.normal_frontiers))
+        directions = {"nd": 0, "dn": 0, "dd": 0}
+        base_comp = np.zeros(p, dtype=np.float64)
+        gpu_plans: list[GPUPlan] = []
+
+        for g in range(p):
+            part = graph.gpus[g]
+            deg = self._degrees[g]
+            frontier_n = state.normal_frontiers[g]
+            comp = self.netmodel.iteration_overhead()
+            comp += self.netmodel.filter_time(2 * frontier_n.size + 2 * frontier_d.size)
+            base_comp[g] = comp
+
+            # ---- nn visit: always forward -------------------------------- #
+            visits = [
+                VisitSpec(
+                    "nn",
+                    "nn",
+                    backward=False,
+                    queue=filter_frontier(frontier_n, deg["nn"]),
+                    keep_sources=program.payload_exchange,
+                )
+            ]
+            normal_flags = None
+
+            # ---- shared backward candidate sets --------------------------- #
+            if d and pull_ok:
+                cand_nd = unvisited_delegates[part.dn_source_mask[unvisited_delegates]]
+                cand_dd = unvisited_delegates[part.dd_source_mask[unvisited_delegates]]
+            else:
+                cand_nd = np.zeros(0, dtype=np.int64)
+                cand_dd = np.zeros(0, dtype=np.int64)
+            if pull_ok and part.nd_source_list.size:
+                nd_src_values = state.normal_values[g][part.nd_source_list]
+                cand_dn = part.nd_source_list[nd_src_values == UNVISITED]
+            else:
+                cand_dn = np.zeros(0, dtype=np.int64)
+
+            # ---- nd visit (destinations are delegates) -------------------- #
+            if d:
+                queue_nd = filter_frontier(frontier_n, deg["nd"])
+                fv_nd = int(deg["nd"][queue_nd].sum()) if queue_nd.size else 0
+                bv_nd = estimate_backward_workload(cand_nd.size, q=int(frontier_n.size), s=int(cand_dn.size))
+                if dir_states["nd"][g].decide(fv_nd, bv_nd):
+                    directions["nd"] += 1
+                    # A backward nd pull scans the reverse edges (the dn CSR)
+                    # against this GPU's dense normal-frontier flags.
+                    normal_flags = np.zeros(part.num_local, dtype=bool)
+                    if frontier_n.size:
+                        normal_flags[frontier_n] = True
+                    visits.append(
+                        VisitSpec(
+                            "nd",
+                            "dn",
+                            backward=True,
+                            candidates=cand_nd,
+                            flags="normal",
+                            keep_sources=not mask_channel,
+                        )
+                    )
+                else:
+                    visits.append(
+                        VisitSpec(
+                            "nd",
+                            "nd",
+                            backward=False,
+                            queue=queue_nd,
+                            keep_sources=not mask_channel,
+                        )
+                    )
+
+            # ---- dn visit (destinations are local normal vertices) -------- #
+            if d and part.num_local:
+                queue_dn = filter_frontier(frontier_d, deg["dn"])
+                fv_dn = int(deg["dn"][queue_dn].sum()) if queue_dn.size else 0
+                bv_dn = estimate_backward_workload(cand_dn.size, q=int(frontier_d.size), s=int(cand_nd.size))
+                if dir_states["dn"][g].decide(fv_dn, bv_dn):
+                    directions["dn"] += 1
+                    visits.append(
+                        VisitSpec(
+                            "dn",
+                            "nd",
+                            backward=True,
+                            candidates=cand_dn,
+                            flags="delegate",
+                            keep_sources=needs_sources,
+                        )
+                    )
+                else:
+                    visits.append(
+                        VisitSpec(
+                            "dn",
+                            "dn",
+                            backward=False,
+                            queue=queue_dn,
+                            keep_sources=needs_sources,
+                        )
+                    )
+
+            # ---- dd visit (delegates to delegates) ------------------------ #
+            if d:
+                queue_dd = filter_frontier(frontier_d, deg["dd"])
+                fv_dd = int(deg["dd"][queue_dd].sum()) if queue_dd.size else 0
+                bv_dd = estimate_backward_workload(cand_dd.size, q=int(frontier_d.size), s=int(cand_dd.size))
+                if dir_states["dd"][g].decide(fv_dd, bv_dd):
+                    directions["dd"] += 1
+                    visits.append(
+                        VisitSpec(
+                            "dd",
+                            "dd",
+                            backward=True,
+                            candidates=cand_dd,
+                            flags="delegate",
+                            keep_sources=not mask_channel,
+                        )
+                    )
+                else:
+                    visits.append(
+                        VisitSpec(
+                            "dd",
+                            "dd",
+                            backward=False,
+                            queue=queue_dd,
+                            keep_sources=not mask_channel,
+                        )
+                    )
+
+            gpu_plans.append(GPUPlan(gpu=g, visits=visits, normal_flags=normal_flags))
+
+        def finalize(outputs: list) -> IterationRecord:
+            return self._finalize_super_step(
+                outputs,
+                program=program,
+                state=state,
+                communicator=communicator,
+                level=level,
+                wall=wall,
+                base_comp=base_comp,
+                directions=directions,
+                normal_frontier_total=normal_frontier_total,
+                delegate_frontier_size=int(frontier_d.size),
+                mask_channel=mask_channel,
+                needs_sources=needs_sources,
+            )
+
+        return SuperStepPlan(
+            level=level,
+            batched=False,
+            gpu_plans=gpu_plans,
+            finalize=finalize,
+            wall=wall,
+            delegate_flags=delegate_frontier_flags,
+        )
+
+    def _finalize_super_step(
+        self,
+        outputs: list,
+        program: FrontierProgram,
+        state: TraversalState,
+        communicator: Communicator,
+        level: int,
+        wall: dict,
+        base_comp: np.ndarray,
+        directions: dict,
+        normal_frontier_total: int,
+        delegate_frontier_size: int,
+        mask_channel: bool,
+        needs_sources: bool,
+    ) -> IterationRecord:
+        """Fold kernel outputs, exchange, reduce: the serial half of a step."""
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+        d = graph.num_delegates
+
         nn_outboxes: list[np.ndarray] = []
         nn_payloads: list[np.ndarray] = []
         out_masks: list[Bitmask] = []
@@ -418,12 +707,7 @@ class TraversalEngine:
         fresh_from_dn: list[np.ndarray] = []
         per_gpu_comp = np.zeros(p, dtype=np.float64)
         edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        directions = {"nd": 0, "dn": 0, "dd": 0}
-
-        normal_frontier_total = int(sum(f.size for f in state.normal_frontiers))
-        if wall is None:
-            wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
-        kernels_started = time.perf_counter()
+        fold_started = time.perf_counter()
 
         def source_info(g: int, kernel: str, out: KernelOutput):
             """Global ids and program values of a kernel's discovering sources."""
@@ -481,10 +765,8 @@ class TraversalEngine:
 
         for g in range(p):
             part = graph.gpus[g]
-            deg = self._degrees[g]
-            frontier_n = state.normal_frontiers[g]
-            comp = self.netmodel.iteration_overhead()
-            comp += self.netmodel.filter_time(2 * frontier_n.size + 2 * frontier_d.size)
+            outs = outputs[g]
+            comp = base_comp[g]
 
             out_mask = Bitmask(d)
             if not mask_channel:
@@ -493,8 +775,7 @@ class TraversalEngine:
                 )
 
             # ---- nn visit: always forward -------------------------------- #
-            queue_nn = filter_frontier(frontier_n, deg["nn"])
-            out_nn = forward_visit(part.nn, queue_nn)
+            out_nn = outs["nn"]
             comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
             edges_examined["nn"] += out_nn.edges_examined
             nn_outboxes.append(out_nn.discovered)
@@ -514,37 +795,12 @@ class TraversalEngine:
                     )
                 )
 
-            # ---- shared backward candidate sets --------------------------- #
-            if d and pull_ok:
-                cand_nd = unvisited_delegates[part.dn_source_mask[unvisited_delegates]]
-                cand_dd = unvisited_delegates[part.dd_source_mask[unvisited_delegates]]
-            else:
-                cand_nd = np.zeros(0, dtype=np.int64)
-                cand_dd = np.zeros(0, dtype=np.int64)
-            if pull_ok and part.nd_source_list.size:
-                nd_src_values = state.normal_values[g][part.nd_source_list]
-                cand_dn = part.nd_source_list[nd_src_values == UNVISITED]
-            else:
-                cand_dn = np.zeros(0, dtype=np.int64)
-
-            normal_frontier_flags = None
-
             # ---- nd visit (destinations are delegates) -------------------- #
             if d:
-                queue_nd = filter_frontier(frontier_n, deg["nd"])
-                fv_nd = int(deg["nd"][queue_nd].sum()) if queue_nd.size else 0
-                bv_nd = estimate_backward_workload(cand_nd.size, q=int(frontier_n.size), s=int(cand_dn.size))
-                backward = dir_states["nd"][g].decide(fv_nd, bv_nd)
-                if backward:
-                    if normal_frontier_flags is None:
-                        normal_frontier_flags = np.zeros(part.num_local, dtype=bool)
-                        if frontier_n.size:
-                            normal_frontier_flags[frontier_n] = True
-                    out_nd = backward_visit(part.dn, cand_nd, normal_frontier_flags)
-                    directions["nd"] += 1
-                else:
-                    out_nd = forward_visit(part.nd, queue_nd)
-                comp += self.netmodel.traversal_time(out_nd.edges_examined, backward=backward)
+                out_nd = outs["nd"]
+                comp += self.netmodel.traversal_time(
+                    out_nd.edges_examined, backward=out_nd.backward
+                )
                 edges_examined["nd"] += out_nd.edges_examined
                 delegate_update(g, "nd", out_nd, out_mask)
 
@@ -552,16 +808,10 @@ class TraversalEngine:
             newly_local = np.zeros(0, dtype=np.int64)
             newly_local_values = np.zeros(0, dtype=np.int64)
             if d and part.num_local:
-                queue_dn = filter_frontier(frontier_d, deg["dn"])
-                fv_dn = int(deg["dn"][queue_dn].sum()) if queue_dn.size else 0
-                bv_dn = estimate_backward_workload(cand_dn.size, q=int(frontier_d.size), s=int(cand_nd.size))
-                backward = dir_states["dn"][g].decide(fv_dn, bv_dn)
-                if backward:
-                    out_dn = backward_visit(part.nd, cand_dn, delegate_frontier_flags)
-                    directions["dn"] += 1
-                else:
-                    out_dn = forward_visit(part.dn, queue_dn)
-                comp += self.netmodel.traversal_time(out_dn.edges_examined, backward=backward)
+                out_dn = outs["dn"]
+                comp += self.netmodel.traversal_time(
+                    out_dn.edges_examined, backward=out_dn.backward
+                )
                 edges_examined["dn"] += out_dn.edges_examined
                 newly_local = out_dn.discovered
                 if newly_local.size:
@@ -582,16 +832,10 @@ class TraversalEngine:
 
             # ---- dd visit (delegates to delegates) ------------------------ #
             if d:
-                queue_dd = filter_frontier(frontier_d, deg["dd"])
-                fv_dd = int(deg["dd"][queue_dd].sum()) if queue_dd.size else 0
-                bv_dd = estimate_backward_workload(cand_dd.size, q=int(frontier_d.size), s=int(cand_dd.size))
-                backward = dir_states["dd"][g].decide(fv_dd, bv_dd)
-                if backward:
-                    out_dd = backward_visit(part.dd, cand_dd, delegate_frontier_flags)
-                    directions["dd"] += 1
-                else:
-                    out_dd = forward_visit(part.dd, queue_dd)
-                comp += self.netmodel.traversal_time(out_dd.edges_examined, backward=backward)
+                out_dd = outs["dd"]
+                comp += self.netmodel.traversal_time(
+                    out_dd.edges_examined, backward=out_dd.backward
+                )
                 edges_examined["dd"] += out_dd.edges_examined
                 delegate_update(g, "dd", out_dd, out_mask)
 
@@ -605,7 +849,7 @@ class TraversalEngine:
         # Communication stage
         # ------------------------------------------------------------------ #
         exchange_started = time.perf_counter()
-        wall["kernels"] += exchange_started - kernels_started
+        wall["kernels"] += exchange_started - fold_started
         exchange = communicator.exchange_normals(
             nn_outboxes,
             local_all2all=opts.local_all2all,
@@ -688,7 +932,7 @@ class TraversalEngine:
         return IterationRecord(
             iteration=level,
             normal_frontier_size=normal_frontier_total,
-            delegate_frontier_size=int(frontier_d.size),
+            delegate_frontier_size=delegate_frontier_size,
             edges_examined=edges_examined,
             directions=directions,
             discovered=discovered,
@@ -700,8 +944,7 @@ class TraversalEngine:
             elapsed_s=elapsed_s,
         )
 
-
-    def _batched_super_step(
+    def _plan_batched_super_step(
         self,
         program: BatchedFrontierProgram,
         state: "_BatchState",
@@ -710,15 +953,15 @@ class TraversalEngine:
         level: int,
         full_words: np.ndarray,
         wall: dict,
-    ) -> IterationRecord:
-        """One fused super-step advancing every lane of the batch at once.
+    ) -> SuperStepPlan:
+        """Describe one fused batched super-step as a backend-executable plan.
 
-        Mirrors :meth:`_super_step` kernel for kernel, with lane words in
-        place of single visited bits: forward kernels OR-propagate the source
-        rows' words, backward pulls collect the full parent lists (no early
-        exit — each lane needs its own parents), the nn exchange ships
-        (vertex, source-bitset) pairs, and one 2-D delegate reduction serves
-        the whole batch.
+        Mirrors :meth:`_plan_super_step` kernel for kernel, with lane words
+        in place of single visited bits: forward tasks OR-propagate the
+        source rows' words, backward tasks collect the full parent lists (no
+        early exit — each lane needs its own parents), and the ``finalize``
+        closure ships (vertex, source-bitset) pairs through the exchange and
+        runs one 2-D delegate reduction for the whole batch.
         """
         opts = self.options
         graph = self.graph
@@ -746,27 +989,11 @@ class TraversalEngine:
             pull_ok = False
             not_full_d = np.zeros(0, dtype=np.int64)
 
-        outboxes: list[np.ndarray] = []
-        outbox_words: list[np.ndarray] = []
-        update_masks: list[BatchBitmask] = []
-        fresh_dn_rows: list[np.ndarray] = []
-        fresh_dn_words: list[np.ndarray] = []
-        per_gpu_comp = np.zeros(p, dtype=np.float64)
-        edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        directions = {"nd": 0, "dn": 0, "dd": 0}
         normal_frontier_total = int(sum(r.size for r in state.frontier_n_rows))
-        kernels_started = time.perf_counter()
-
-        def propose_delegates(update: BatchBitmask, out) -> None:
-            """Fold a kernel's delegate discoveries into this GPU's update,
-            dropping lanes already visited (the free replicated-status
-            filter, exactly as the sequential mask channel does)."""
-            if out.discovered.size == 0:
-                return
-            words = out.words & wanted_d[out.discovered]
-            keep = words.any(axis=1)
-            if keep.any():
-                update.or_rows(out.discovered[keep], words[keep])
+        directions = {"nd": 0, "dn": 0, "dd": 0}
+        base_comp = np.zeros(p, dtype=np.float64)
+        wanted_n_all: list[np.ndarray] = []
+        gpu_plans: list[BatchedGPUPlan] = []
 
         for g in range(p):
             part = graph.gpus[g]
@@ -775,7 +1002,7 @@ class TraversalEngine:
             words_n = state.frontier_n_words[g]
             comp = self.netmodel.iteration_overhead()
             comp += self.netmodel.filter_time(2 * rows_n.size + 2 * rows_d.size)
-            update_d = BatchBitmask(d, state.width) if d else BatchBitmask(0, state.width)
+            base_comp[g] = comp
             # Lanes each local slot still wants; only the delegate-coupled
             # kernels read it, so the all-normal partition never pays for it.
             wanted_n = (
@@ -785,15 +1012,14 @@ class TraversalEngine:
                 if d
                 else np.zeros((0, nwords), dtype=np.uint64)
             )
+            wanted_n_all.append(wanted_n)
             dense_n: np.ndarray | None = None
 
             # ---- nn visit: always forward -------------------------------- #
             q_rows, q_words = batched_filter_frontier(rows_n, words_n, deg["nn"])
-            out_nn = batched_forward_visit(part.nn, q_rows, q_words)
-            comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
-            edges_examined["nn"] += out_nn.edges_examined
-            outboxes.append(out_nn.discovered)
-            outbox_words.append(out_nn.words)
+            visits = [
+                BatchedVisitSpec("nn", "nn", backward=False, rows=q_rows, words=q_words)
+            ]
 
             # ---- shared backward candidate sets --------------------------- #
             if d and pull_ok:
@@ -816,18 +1042,164 @@ class TraversalEngine:
                 # paper's expected-first-hit estimate but the exact full parent
                 # lists of the candidates — computable from the reverse CSR.
                 bv_nd = int(deg["dn"][cand_nd].sum()) if cand_nd.size else 0
-                backward = dir_states["nd"][g].decide(fv_nd, bv_nd)
-                if backward:
-                    if dense_n is None:
-                        dense_n = np.zeros((part.num_local, nwords), dtype=np.uint64)
-                        if rows_n.size:
-                            dense_n[rows_n] = words_n
-                    out_nd = batched_backward_visit(
-                        part.dn, cand_nd, dense_n, wanted_d[cand_nd]
-                    )
+                if dir_states["nd"][g].decide(fv_nd, bv_nd):
                     directions["nd"] += 1
+                    dense_n = np.zeros((part.num_local, nwords), dtype=np.uint64)
+                    if rows_n.size:
+                        dense_n[rows_n] = words_n
+                    visits.append(
+                        BatchedVisitSpec(
+                            "nd",
+                            "dn",
+                            backward=True,
+                            candidates=cand_nd,
+                            wanted=wanted_d[cand_nd],
+                            parents="normal",
+                        )
+                    )
                 else:
-                    out_nd = batched_forward_visit(part.nd, q_nd_rows, q_nd_words)
+                    visits.append(
+                        BatchedVisitSpec(
+                            "nd", "nd", backward=False, rows=q_nd_rows, words=q_nd_words
+                        )
+                    )
+
+            # ---- dn visit (destinations are local normal vertices) -------- #
+            if d and part.num_local:
+                q_dn_rows, q_dn_words = batched_filter_frontier(rows_d, words_d, deg["dn"])
+                fv_dn = int(deg["dn"][q_dn_rows].sum()) if q_dn_rows.size else 0
+                bv_dn = int(deg["nd"][cand_dn].sum()) if cand_dn.size else 0
+                if dir_states["dn"][g].decide(fv_dn, bv_dn):
+                    directions["dn"] += 1
+                    visits.append(
+                        BatchedVisitSpec(
+                            "dn",
+                            "nd",
+                            backward=True,
+                            candidates=cand_dn,
+                            wanted=wanted_n[cand_dn],
+                            parents="delegate",
+                        )
+                    )
+                else:
+                    visits.append(
+                        BatchedVisitSpec(
+                            "dn", "dn", backward=False, rows=q_dn_rows, words=q_dn_words
+                        )
+                    )
+
+            # ---- dd visit (delegates to delegates) ------------------------ #
+            if d:
+                q_dd_rows, q_dd_words = batched_filter_frontier(rows_d, words_d, deg["dd"])
+                fv_dd = int(deg["dd"][q_dd_rows].sum()) if q_dd_rows.size else 0
+                bv_dd = int(deg["dd"][cand_dd].sum()) if cand_dd.size else 0
+                if dir_states["dd"][g].decide(fv_dd, bv_dd):
+                    directions["dd"] += 1
+                    visits.append(
+                        BatchedVisitSpec(
+                            "dd",
+                            "dd",
+                            backward=True,
+                            candidates=cand_dd,
+                            wanted=wanted_d[cand_dd],
+                            parents="delegate",
+                        )
+                    )
+                else:
+                    visits.append(
+                        BatchedVisitSpec(
+                            "dd", "dd", backward=False, rows=q_dd_rows, words=q_dd_words
+                        )
+                    )
+
+            gpu_plans.append(BatchedGPUPlan(gpu=g, visits=visits, dense_normal=dense_n))
+
+        def finalize(outputs: list) -> IterationRecord:
+            return self._finalize_batched_super_step(
+                outputs,
+                program=program,
+                state=state,
+                communicator=communicator,
+                level=level,
+                wall=wall,
+                full_words=full_words,
+                base_comp=base_comp,
+                directions=directions,
+                normal_frontier_total=normal_frontier_total,
+                delegate_frontier_size=int(rows_d.size),
+                wanted_d=wanted_d,
+                wanted_n_all=wanted_n_all,
+            )
+
+        return SuperStepPlan(
+            level=level,
+            batched=True,
+            gpu_plans=gpu_plans,
+            finalize=finalize,
+            wall=wall,
+            dense_delegate=dense_d,
+        )
+
+    def _finalize_batched_super_step(
+        self,
+        outputs: list,
+        program: BatchedFrontierProgram,
+        state: "_BatchState",
+        communicator: Communicator,
+        level: int,
+        wall: dict,
+        full_words: np.ndarray,
+        base_comp: np.ndarray,
+        directions: dict,
+        normal_frontier_total: int,
+        delegate_frontier_size: int,
+        wanted_d: np.ndarray,
+        wanted_n_all: list,
+    ) -> IterationRecord:
+        """Fold batched kernel outputs, exchange, reduce (serial half)."""
+        opts = self.options
+        graph = self.graph
+        p = graph.num_gpus
+        d = graph.num_delegates
+        nwords = full_words.size
+
+        outboxes: list[np.ndarray] = []
+        outbox_words: list[np.ndarray] = []
+        update_masks: list[BatchBitmask] = []
+        fresh_dn_rows: list[np.ndarray] = []
+        fresh_dn_words: list[np.ndarray] = []
+        per_gpu_comp = np.zeros(p, dtype=np.float64)
+        edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
+        fold_started = time.perf_counter()
+
+        def propose_delegates(update: BatchBitmask, out) -> None:
+            """Fold a kernel's delegate discoveries into this GPU's update,
+            dropping lanes already visited (the free replicated-status
+            filter, exactly as the sequential mask channel does)."""
+            if out.discovered.size == 0:
+                return
+            words = out.words & wanted_d[out.discovered]
+            keep = words.any(axis=1)
+            if keep.any():
+                update.or_rows(out.discovered[keep], words[keep])
+
+        for g in range(p):
+            part = graph.gpus[g]
+            outs = outputs[g]
+            wanted_n = wanted_n_all[g]
+            comp = base_comp[g]
+            update_d = BatchBitmask(d, state.width) if d else BatchBitmask(0, state.width)
+
+            # ---- nn visit: always forward -------------------------------- #
+            out_nn = outs["nn"]
+            comp += self.netmodel.traversal_time(out_nn.edges_examined, backward=False)
+            edges_examined["nn"] += out_nn.edges_examined
+            outboxes.append(out_nn.discovered)
+            outbox_words.append(out_nn.words)
+
+            # ---- nd visit (destinations are delegates) -------------------- #
+            if d:
+                out_nd = outs["nd"]
                 comp += self.netmodel.traversal_time(
                     out_nd.edges_examined, backward=out_nd.backward
                 )
@@ -838,17 +1210,7 @@ class TraversalEngine:
             f_rows = np.zeros(0, dtype=np.int64)
             f_words = np.zeros((0, nwords), dtype=np.uint64)
             if d and part.num_local:
-                q_dn_rows, q_dn_words = batched_filter_frontier(rows_d, words_d, deg["dn"])
-                fv_dn = int(deg["dn"][q_dn_rows].sum()) if q_dn_rows.size else 0
-                bv_dn = int(deg["nd"][cand_dn].sum()) if cand_dn.size else 0
-                backward = dir_states["dn"][g].decide(fv_dn, bv_dn)
-                if backward:
-                    out_dn = batched_backward_visit(
-                        part.nd, cand_dn, dense_d, wanted_n[cand_dn]
-                    )
-                    directions["dn"] += 1
-                else:
-                    out_dn = batched_forward_visit(part.dn, q_dn_rows, q_dn_words)
+                out_dn = outs["dn"]
                 comp += self.netmodel.traversal_time(
                     out_dn.edges_examined, backward=out_dn.backward
                 )
@@ -866,17 +1228,7 @@ class TraversalEngine:
 
             # ---- dd visit (delegates to delegates) ------------------------ #
             if d:
-                q_dd_rows, q_dd_words = batched_filter_frontier(rows_d, words_d, deg["dd"])
-                fv_dd = int(deg["dd"][q_dd_rows].sum()) if q_dd_rows.size else 0
-                bv_dd = int(deg["dd"][cand_dd].sum()) if cand_dd.size else 0
-                backward = dir_states["dd"][g].decide(fv_dd, bv_dd)
-                if backward:
-                    out_dd = batched_backward_visit(
-                        part.dd, cand_dd, dense_d, wanted_d[cand_dd]
-                    )
-                    directions["dd"] += 1
-                else:
-                    out_dd = batched_forward_visit(part.dd, q_dd_rows, q_dd_words)
+                out_dd = outs["dd"]
                 comp += self.netmodel.traversal_time(
                     out_dd.edges_examined, backward=out_dd.backward
                 )
@@ -892,7 +1244,7 @@ class TraversalEngine:
         # Communication stage
         # ------------------------------------------------------------------ #
         exchange_started = time.perf_counter()
-        wall["kernels"] += exchange_started - kernels_started
+        wall["kernels"] += exchange_started - fold_started
         exchange = communicator.exchange_batch(outboxes, outbox_words)
         discovered = 0
         for g in range(p):
@@ -962,7 +1314,7 @@ class TraversalEngine:
         return IterationRecord(
             iteration=level,
             normal_frontier_size=normal_frontier_total,
-            delegate_frontier_size=int(rows_d.size),
+            delegate_frontier_size=delegate_frontier_size,
             edges_examined=edges_examined,
             directions=directions,
             discovered=discovered,
@@ -1088,12 +1440,19 @@ class DistributedBFS:
         graph: PartitionedGraph,
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
+        backend=None,
     ) -> None:
-        self.engine = TraversalEngine(graph, options=options, hardware=hardware)
+        self.engine = TraversalEngine(
+            graph, options=options, hardware=hardware, backend=backend
+        )
 
     @property
     def graph(self) -> PartitionedGraph:
         return self.engine.graph
+
+    def close(self) -> None:
+        """Release the engine's execution backend (idempotent)."""
+        self.engine.close()
 
     @property
     def options(self) -> BFSOptions:

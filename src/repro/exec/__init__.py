@@ -1,0 +1,68 @@
+"""Pluggable execution backends for the traversal engine.
+
+The engine (:mod:`repro.core.engine`) describes each level-synchronous
+super-step as a declarative :class:`~repro.exec.plan.SuperStepPlan` — the
+per-GPU visit-kernel tasks, then the (vertex, payload) exchange and the
+delegate reduction folded behind the plan's ``finalize`` hook — and an
+:class:`~repro.exec.backend.ExecutionBackend` decides *how* to run it:
+
+* :class:`~repro.exec.backend.InlineBackend` executes every kernel task in
+  the calling process, reproducing the classic single-process simulator
+  bit for bit (same results, same workload counters, same modeled times);
+* :class:`~repro.exec.process.ProcessBackend` executes the per-GPU kernel
+  tasks in a persistent :mod:`multiprocessing` worker pool over
+  shared-memory CSR and frontier-bitmask buffers, so the per-GPU work of a
+  super-step actually runs in parallel on multi-core hosts.
+
+Modeled times and workload counters are backend-independent by
+construction (the kernels are pure functions of their inputs and all
+folding happens on the coordinating process); only the measured ``wall_s``
+phases depend on the backend.
+
+Backends are selected by name — ``TraversalEngine(graph, backend="process")``,
+``Session.backend("process")``, the ``--backend`` CLI flag — with the
+``REPRO_BACKEND`` environment variable supplying the default.
+"""
+
+from repro.exec.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InlineBackend,
+    default_backend_name,
+    resolve_backend,
+)
+from repro.exec.plan import (
+    BatchedGPUPlan,
+    BatchedVisitSpec,
+    GPUPlan,
+    SuperStepPlan,
+    VisitSpec,
+    execute_batched_gpu_plan,
+    execute_gpu_plan,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "default_backend_name",
+    "resolve_backend",
+    "SuperStepPlan",
+    "GPUPlan",
+    "BatchedGPUPlan",
+    "VisitSpec",
+    "BatchedVisitSpec",
+    "execute_gpu_plan",
+    "execute_batched_gpu_plan",
+]
+
+
+def __getattr__(name):
+    # ProcessBackend pulls in multiprocessing + shared_memory machinery;
+    # import it lazily so inline-only users never pay for it.
+    if name == "ProcessBackend":
+        from repro.exec.process import ProcessBackend
+
+        return ProcessBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

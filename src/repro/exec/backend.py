@@ -1,0 +1,152 @@
+"""The execution-backend protocol, the inline backend and the registry.
+
+An :class:`ExecutionBackend` runs :class:`~repro.exec.plan.SuperStepPlan`s
+for one partitioned graph.  The contract is deliberately small:
+
+``run_super_step(plan)``
+    Execute the plan's per-GPU kernel tasks *somehow* (that is the whole
+    point of the abstraction), account the elapsed seconds under
+    ``plan.wall["kernels"]`` and hand the outputs — one ``{kernel: output}``
+    dictionary per GPU, in GPU order — to ``plan.finalize``, returning its
+    :class:`~repro.core.results.IterationRecord`.
+``close()``
+    Release whatever the backend holds (worker pools, shared memory);
+    idempotent.  Backends are context managers.
+
+Backends are addressed by name.  :data:`BACKEND_NAMES` lists the shipped
+ones; :func:`resolve_backend` turns a name / instance / ``None`` into a
+live backend for a graph, with the ``REPRO_BACKEND`` environment variable
+supplying the process-wide default (so e.g. a CI leg can run the whole test
+suite over the process pool without touching any call site).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+
+from repro.exec.plan import (
+    SuperStepPlan,
+    execute_batched_gpu_plan,
+    execute_gpu_plan,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "InlineBackend",
+    "default_backend_name",
+    "resolve_backend",
+]
+
+#: Names accepted wherever a backend can be chosen (engine, session, CLI).
+BACKEND_NAMES = ("inline", "process")
+
+#: Environment variable supplying the default backend name.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def default_backend_name() -> str:
+    """The backend used when none is requested (``REPRO_BACKEND`` or inline)."""
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip().lower() or "inline"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={name!r} is not a known execution backend; "
+            f"expected one of {BACKEND_NAMES}"
+        )
+    return name
+
+
+class ExecutionBackend(abc.ABC):
+    """Runs the super-step plans of one graph; see the module docstring."""
+
+    #: Registry name of this backend (recorded in results and artifacts).
+    name: str = "?"
+
+    def run_super_step(self, plan: SuperStepPlan):
+        """Execute one plan: kernels (timed), then the serial finalize."""
+        started = time.perf_counter()
+        outputs = self._execute_kernels(plan)
+        plan.wall["kernels"] += time.perf_counter() - started
+        return plan.finalize(outputs)
+
+    @abc.abstractmethod
+    def _execute_kernels(self, plan: SuperStepPlan) -> list:
+        """Run every GPU's kernel tasks; outputs in GPU order."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; default: nothing held)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every kernel task in the calling process, one GPU after another.
+
+    This is the classic simulator behaviour: results, workload counters and
+    modeled times are bit-identical to the historical in-engine loop, and
+    there is no setup cost — the backend of choice for small graphs, tests
+    and anything latency-sensitive enough that a process pool's IPC would
+    dominate.
+    """
+
+    name = "inline"
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def _resolve_csr(self, gpu: int, name: str):
+        return getattr(self.graph.gpus[gpu], name)
+
+    def _execute_kernels(self, plan: SuperStepPlan) -> list:
+        if plan.batched:
+            return [
+                execute_batched_gpu_plan(gp, self._resolve_csr, plan.dense_delegate)
+                for gp in plan.gpu_plans
+            ]
+        return [
+            execute_gpu_plan(gp, self._resolve_csr, plan.delegate_flags)
+            for gp in plan.gpu_plans
+        ]
+
+
+def resolve_backend(spec, graph) -> tuple:
+    """Turn a backend request into ``(backend, engine_owns_it)``.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` (use :func:`default_backend_name`), a registry name, or a
+        live :class:`ExecutionBackend` instance (shared — e.g. one process
+        pool serving several engines over the same graph).
+    graph:
+        The partitioned graph the backend will execute plans for.
+
+    Returns
+    -------
+    (ExecutionBackend, bool)
+        The backend plus whether the caller created (and therefore owns and
+        must eventually close) it; passed-in instances stay caller-owned.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec, False
+    name = default_backend_name() if spec is None else str(spec).strip().lower()
+    if name == "inline":
+        return InlineBackend(graph), True
+    if name == "process":
+        from repro.exec.process import ProcessBackend
+
+        return ProcessBackend(graph), True
+    raise ValueError(
+        f"unknown execution backend {spec!r}; expected one of {BACKEND_NAMES} "
+        "or an ExecutionBackend instance"
+    )

@@ -1,0 +1,211 @@
+"""Declarative super-step plans: what a backend runs, as pure data.
+
+One level-synchronous super-step of the engine decomposes into three stages
+(paper §IV/§V): per-GPU visit kernels, the normal-vertex exchange and the
+delegate reduction.  The kernel stage is embarrassingly parallel across the
+virtual GPUs and is therefore described *declaratively* — a
+:class:`GPUPlan` per GPU holding picklable :class:`VisitSpec` tasks (which
+subgraph CSR to traverse, in which direction, over which queue or candidate
+set) — so an execution backend can ship it anywhere: run it inline, fan it
+out over a process pool, or (in principle) dispatch it to real devices.
+
+The exchange and the reduction are global barriers over the kernel outputs
+and inherently involve the program's fold hooks (``visit_value`` /
+``accept`` / ``merge_remote``), so the plan carries them as one ``finalize``
+callable built by the engine: backends execute the kernel tasks however
+they like, then hand the per-GPU outputs to ``finalize``, which applies the
+program folds, routes the exchange through the :class:`Communicator`,
+performs the delegate reduction and returns the super-step's
+:class:`~repro.core.results.IterationRecord`.
+
+Because the visit kernels are pure functions of their spec (and the shared
+frontier flag buffers), every backend produces bit-identical kernel outputs
+— and since all folding runs on the coordinating process, results, workload
+counters and modeled times are backend-independent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.kernels import (
+    backward_visit,
+    batched_backward_visit,
+    batched_forward_visit,
+    forward_visit,
+)
+
+__all__ = [
+    "VisitSpec",
+    "BatchedVisitSpec",
+    "GPUPlan",
+    "BatchedGPUPlan",
+    "SuperStepPlan",
+    "execute_gpu_plan",
+    "execute_batched_gpu_plan",
+]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+
+
+@dataclass
+class VisitSpec:
+    """One sequential visit-kernel task (picklable pure data).
+
+    Attributes
+    ----------
+    kernel:
+        Logical kernel this task implements: ``"nn"``, ``"nd"``, ``"dn"``
+        or ``"dd"`` — the key its output is folded under.
+    csr:
+        Which of the GPU's four stored subgraphs to traverse.  This is not
+        always :attr:`kernel`: a backward nd pull scans the reverse edges,
+        which live in the ``dn`` CSR (and vice versa).
+    backward:
+        ``True`` = backward-pull (:func:`~repro.core.kernels.backward_visit`),
+        ``False`` = forward-push.
+    queue:
+        Forward tasks: the pre-filtered frontier rows to expand.
+    candidates:
+        Backward tasks: the unvisited rows that pull.
+    flags:
+        Backward tasks: which shared frontier flag buffer the pull tests
+        parents against — ``"normal"`` (this GPU's dense local-slot flags,
+        :attr:`GPUPlan.normal_flags`) or ``"delegate"`` (the replicated
+        delegate flags shared by every GPU,
+        :attr:`SuperStepPlan.delegate_flags`).
+    keep_sources:
+        Whether the fold will read the kernel's ``sources`` array (only
+        programs carrying per-discovery payloads do).  Remote backends may
+        drop the sources of tasks that do not need them before shipping
+        outputs back — the fold never reads what it did not ask for.
+    """
+
+    kernel: str
+    csr: str
+    backward: bool
+    queue: np.ndarray | None = None
+    candidates: np.ndarray | None = None
+    flags: str | None = None
+    keep_sources: bool = True
+
+
+@dataclass
+class BatchedVisitSpec:
+    """One batched (MS-BFS style) visit-kernel task.
+
+    Mirrors :class:`VisitSpec` with lane words in place of single bits:
+    forward tasks carry the (rows, words) frontier, backward tasks the
+    candidate rows, their still-wanted lane words, and a reference to the
+    dense parent lane-word buffer (``"normal"`` = this GPU's
+    :attr:`BatchedGPUPlan.dense_normal`, ``"delegate"`` = the shared
+    :attr:`SuperStepPlan.dense_delegate`).
+    """
+
+    kernel: str
+    csr: str
+    backward: bool
+    rows: np.ndarray | None = None
+    words: np.ndarray | None = None
+    candidates: np.ndarray | None = None
+    wanted: np.ndarray | None = None
+    parents: str | None = None
+
+
+@dataclass
+class GPUPlan:
+    """All visit-kernel tasks of one GPU for one sequential super-step."""
+
+    gpu: int
+    visits: list = field(default_factory=list)
+    #: Dense boolean frontier over this GPU's local slots; present exactly
+    #: when some task pulls with ``flags="normal"``.
+    normal_flags: np.ndarray | None = None
+
+
+@dataclass
+class BatchedGPUPlan:
+    """All visit-kernel tasks of one GPU for one batched super-step."""
+
+    gpu: int
+    visits: list = field(default_factory=list)
+    #: Dense ``(num_local, nwords)`` frontier lane words; present exactly
+    #: when some task pulls with ``parents="normal"``.
+    dense_normal: np.ndarray | None = None
+
+
+@dataclass
+class SuperStepPlan:
+    """One super-step, ready for an execution backend.
+
+    ``gpu_plans`` is the parallel stage (pure data, one entry per GPU);
+    ``finalize`` is the serial stage: called once with the per-GPU output
+    dictionaries (kernel name → output, in GPU order), it folds the
+    discoveries through the frontier program, runs the exchange and the
+    delegate reduction, accounts modeled time and returns the
+    :class:`~repro.core.results.IterationRecord`.  ``wall`` is the run's
+    wall-clock phase accumulator; backends add their kernel-stage seconds
+    to ``wall["kernels"]``.
+    """
+
+    level: int
+    batched: bool
+    gpu_plans: list
+    finalize: Callable[[list], object]
+    wall: dict
+    #: Sequential plans: replicated delegate frontier flags (bool, size d).
+    delegate_flags: np.ndarray | None = None
+    #: Batched plans: dense ``(d, nwords)`` delegate frontier lane words.
+    dense_delegate: np.ndarray | None = None
+
+
+def execute_gpu_plan(
+    gpu_plan: GPUPlan,
+    resolve_csr: Callable[[int, str], object],
+    delegate_flags: np.ndarray | None,
+    strip_sources: bool = False,
+) -> dict:
+    """Run every sequential visit task of one GPU; outputs keyed by kernel.
+
+    ``resolve_csr(gpu, name)`` maps a task's subgraph reference to a CSR —
+    the in-process partition for :class:`~repro.exec.backend.InlineBackend`,
+    a shared-memory view inside a :class:`~repro.exec.process.ProcessBackend`
+    worker.  With ``strip_sources`` the ``sources`` arrays of tasks that
+    declared ``keep_sources=False`` are dropped (they can be as large as the
+    examined edge set, and the fold never reads them).
+    """
+    outputs: dict = {}
+    for spec in gpu_plan.visits:
+        csr = resolve_csr(gpu_plan.gpu, spec.csr)
+        if spec.backward:
+            flags = gpu_plan.normal_flags if spec.flags == "normal" else delegate_flags
+            out = backward_visit(csr, spec.candidates, flags)
+        else:
+            out = forward_visit(csr, spec.queue)
+        if strip_sources and not spec.keep_sources:
+            out.sources = _EMPTY_I64
+        outputs[spec.kernel] = out
+    return outputs
+
+
+def execute_batched_gpu_plan(
+    gpu_plan: BatchedGPUPlan,
+    resolve_csr: Callable[[int, str], object],
+    dense_delegate: np.ndarray | None,
+) -> dict:
+    """Run every batched visit task of one GPU; outputs keyed by kernel."""
+    outputs: dict = {}
+    for spec in gpu_plan.visits:
+        csr = resolve_csr(gpu_plan.gpu, spec.csr)
+        if spec.backward:
+            parents = (
+                gpu_plan.dense_normal if spec.parents == "normal" else dense_delegate
+            )
+            out = batched_backward_visit(csr, spec.candidates, parents, spec.wanted)
+        else:
+            out = batched_forward_visit(csr, spec.rows, spec.words)
+        outputs[spec.kernel] = out
+    return outputs

@@ -1,0 +1,292 @@
+"""Shared-memory buffers backing the process execution backend.
+
+The per-GPU kernel tasks of a super-step read two kinds of data:
+
+* the **static graph** — every GPU's four CSR subgraphs (row offsets +
+  column indices), which never change after partitioning and dominate the
+  bytes a worker touches; and
+* the **per-step frontier bitmask buffers** — the replicated delegate
+  frontier flags every backward pull tests parents against, the per-GPU
+  dense normal-frontier flags, and (on the batched path) the dense lane-word
+  frontiers.
+
+Shipping either through the task pickle every super-step would serialise
+the very data the pool exists to avoid copying, so
+:class:`SharedGraphStore` places both in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the graph is exported once at
+backend construction, the bitmask scratch is rewritten in place by the
+coordinator before each dispatch (the pool barrier orders the writes
+against the reads), and tasks carry only a small descriptor of names and
+offsets.  Workers attach lazily and cache their attachments, so after the
+first task per graph a worker reads everything through plain ``numpy``
+views at memory speed.
+
+All offsets are 8-byte aligned so the views are aligned for every dtype
+involved (``int64`` offsets, ``int32``/``int64`` columns, ``uint64`` lane
+words, ``bool`` flags).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SharedGraphStore", "SegmentCache", "csrs_from_descriptor", "csr_view"]
+
+#: Subgraph attributes exported per GPU, in a fixed order.
+CSR_KEYS = ("nn", "nd", "dn", "dd")
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+def csr_view(row_offsets: np.ndarray, column_indices: np.ndarray, num_rows: int, num_cols: int) -> CSRGraph:
+    """A :class:`CSRGraph` over existing buffers, skipping re-validation.
+
+    The arrays were validated when the partition was built; re-running the
+    O(edges) checks on every worker attach would only burn the memory
+    bandwidth the shared mapping saves.
+    """
+    csr = object.__new__(CSRGraph)
+    csr.row_offsets = row_offsets
+    csr.column_indices = column_indices
+    csr.num_rows = int(num_rows)
+    csr.num_cols = int(num_cols)
+    return csr
+
+
+class SegmentCache:
+    """Worker-side LRU cache of attached shared-memory segments.
+
+    Keeps at most ``capacity`` segments attached; evicted segments are
+    closed (their memory is freed once every process has dropped them,
+    since the coordinator unlinks segments it replaces or retires).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = int(capacity)
+        self._segments: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+        #: Derived structures (CSR dictionaries) keyed by segment name, so a
+        #: worker rebuilds views only when it first sees a graph.
+        self.derived: dict[str, object] = {}
+
+    def get(self, name: str) -> shared_memory.SharedMemory:
+        segment = self._segments.get(name)
+        if segment is not None:
+            self._segments.move_to_end(name)
+            return segment
+        segment = shared_memory.SharedMemory(name=name)
+        self._segments[name] = segment
+        while len(self._segments) > self.capacity:
+            stale_name, stale = self._segments.popitem(last=False)
+            self.derived.pop(stale_name, None)
+            stale.close()
+        return segment
+
+    def array(self, name: str, offset: int, dtype, shape) -> np.ndarray:
+        """A numpy view into segment ``name`` at ``offset``."""
+        segment = self.get(name)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(segment.buf, dtype=dtype, count=count, offset=offset)
+        return view.reshape(shape)
+
+    def close(self) -> None:
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()
+        self.derived.clear()
+
+
+def csrs_from_descriptor(cache: SegmentCache, descriptor: dict) -> dict:
+    """Materialise ``{(gpu, key): CSRGraph}`` views from a graph descriptor."""
+    name = descriptor["segment"]
+    built = cache.derived.get(name)
+    if built is not None:
+        return built
+    csrs: dict = {}
+    for (gpu, key), entry in descriptor["csrs"].items():
+        ro_off, num_rows, ci_off, num_edges, col_dtype, num_cols = entry
+        row_offsets = cache.array(name, ro_off, np.int64, (num_rows + 1,))
+        columns = cache.array(name, ci_off, np.dtype(col_dtype), (num_edges,))
+        csrs[(gpu, key)] = csr_view(row_offsets, columns, num_rows, num_cols)
+    cache.derived[name] = csrs
+    return csrs
+
+
+class SharedGraphStore:
+    """Coordinator-side owner of one graph's shared-memory buffers."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.num_delegates = int(graph.num_delegates)
+        self.num_locals = tuple(int(gpu.num_local) for gpu in graph.gpus)
+        self._closed = False
+        self._batch_generation = 0
+        self._batch_segment: shared_memory.SharedMemory | None = None
+        self._batch_nwords = 0
+
+        # ---- static graph segment ------------------------------------- #
+        entries: dict = {}
+        offset = 0
+        arrays: list[tuple[int, np.ndarray]] = []
+        for g, gpu in enumerate(graph.gpus):
+            for key in CSR_KEYS:
+                csr = getattr(gpu, key)
+                ro = np.ascontiguousarray(csr.row_offsets, dtype=np.int64)
+                ci = np.ascontiguousarray(csr.column_indices)
+                ro_off = _align(offset)
+                offset = ro_off + ro.nbytes
+                ci_off = _align(offset)
+                offset = ci_off + ci.nbytes
+                arrays.append((ro_off, ro))
+                arrays.append((ci_off, ci))
+                entries[(g, key)] = (
+                    ro_off,
+                    csr.num_rows,
+                    ci_off,
+                    csr.num_edges,
+                    ci.dtype.str,
+                    csr.num_cols,
+                )
+        self._graph_segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        buf = self._graph_segment.buf
+        for arr_off, arr in arrays:
+            view = np.frombuffer(buf, dtype=arr.dtype, count=arr.size, offset=arr_off)
+            view[:] = arr
+        self._graph_descriptor = {
+            "segment": self._graph_segment.name,
+            "csrs": entries,
+        }
+
+        # ---- frontier-flag scratch (rewritten before each dispatch) ---- #
+        flag_offsets = []
+        offset = _align(self.num_delegates)
+        for num_local in self.num_locals:
+            flag_offsets.append(offset)
+            offset = _align(offset + num_local)
+        self._flag_offsets = tuple(flag_offsets)
+        self._flags_segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._delegate_flags_view = np.frombuffer(
+            self._flags_segment.buf, dtype=np.bool_, count=self.num_delegates, offset=0
+        )
+        self._normal_flags_views = [
+            np.frombuffer(
+                self._flags_segment.buf, dtype=np.bool_, count=num_local, offset=off
+            )
+            for num_local, off in zip(self.num_locals, self._flag_offsets)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Descriptors (picklable, shipped with every task)
+    # ------------------------------------------------------------------ #
+    @property
+    def graph_descriptor(self) -> dict:
+        return self._graph_descriptor
+
+    def flags_descriptor(self) -> tuple:
+        """``(segment, num_delegates, per-GPU offsets, per-GPU local counts)``."""
+        return (
+            self._flags_segment.name,
+            self.num_delegates,
+            self._flag_offsets,
+            self.num_locals,
+        )
+
+    def batch_descriptor(self) -> tuple:
+        """``(segment, nwords, num_delegates, per-GPU local counts)``."""
+        return (
+            self._batch_segment.name,
+            self._batch_nwords,
+            self.num_delegates,
+            self.num_locals,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-step scratch writes (coordinator side)
+    # ------------------------------------------------------------------ #
+    def write_delegate_flags(self, flags: np.ndarray) -> None:
+        self._delegate_flags_view[:] = flags
+
+    def write_normal_flags(self, gpu: int, flags: np.ndarray) -> None:
+        self._normal_flags_views[gpu][:] = flags
+
+    def ensure_batch_capacity(self, nwords: int) -> None:
+        """Size the dense lane-word scratch for ``nwords`` words per row.
+
+        Growing replaces the segment under a fresh name (tasks always name
+        the segment they expect, so workers never read a stale layout); the
+        old segment is unlinked and lingers only until the workers' caches
+        evict their attachment.
+        """
+        if self._batch_segment is not None and nwords <= self._batch_nwords:
+            return
+        rows = self.num_delegates + sum(self.num_locals)
+        size = max(rows * nwords * 8, 1)
+        if self._batch_segment is not None:
+            self._batch_segment.close()
+            self._batch_segment.unlink()
+        self._batch_generation += 1
+        self._batch_segment = shared_memory.SharedMemory(create=True, size=size)
+        self._batch_nwords = nwords
+
+    def _batch_rows_view(self, row_start: int, rows: int) -> np.ndarray:
+        """A ``(rows, capacity)`` view of the scratch's capacity-wide slots."""
+        capacity = self._batch_nwords
+        return np.frombuffer(
+            self._batch_segment.buf,
+            dtype=np.uint64,
+            count=rows * capacity,
+            offset=row_start * capacity * 8,
+        ).reshape(rows, capacity)
+
+    def write_dense_delegate(self, dense: np.ndarray) -> None:
+        if self.num_delegates:
+            self._batch_rows_view(0, self.num_delegates)[:, : dense.shape[1]] = dense
+
+    def write_dense_normal(self, gpu: int, dense: np.ndarray) -> None:
+        start = self.num_delegates + sum(self.num_locals[:gpu])
+        self._batch_rows_view(start, dense.shape[0])[:, : dense.shape[1]] = dense
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the numpy views before closing the mappings they point into.
+        self._delegate_flags_view = None
+        self._normal_flags_views = []
+        for segment in (self._graph_segment, self._flags_segment, self._batch_segment):
+            if segment is None:
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+
+def batch_views_from_descriptor(
+    cache: SegmentCache, descriptor: tuple, gpu: int, nwords: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Worker-side views of the dense delegate + this GPU's normal scratch.
+
+    The segment was sized for ``capacity >= nwords`` words per row; views
+    are built over the leading ``nwords`` of each row's capacity slot.
+    """
+    name, capacity, num_delegates, num_locals = descriptor
+    dense_delegate = cache.array(name, 0, np.uint64, (num_delegates, capacity))[
+        :, :nwords
+    ]
+    start = num_delegates + sum(num_locals[:gpu])
+    dense_normal = cache.array(
+        name, start * capacity * 8, np.uint64, (num_locals[gpu], capacity)
+    )[:, :nwords]
+    return dense_delegate, dense_normal

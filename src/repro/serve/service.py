@@ -100,6 +100,13 @@ class QueryService:
     batched:
         ``False`` answers every miss with a sequential single-source run —
         the baseline mode of the serving benchmarks.
+    backend:
+        Optional execution backend (a registry name such as ``"process"``
+        or a live :class:`repro.exec.ExecutionBackend`) the service switches
+        the engine to before serving, so batched sweeps run e.g. on the
+        multiprocessing pool.  ``None`` keeps the engine's current backend.
+        Note this reconfigures the *shared* engine, not a copy — callers
+        holding the same engine see the switch.
     """
 
     def __init__(
@@ -108,10 +115,13 @@ class QueryService:
         batch_size: int = 32,
         cache_size: int = 1024,
         batched: bool = True,
+        backend=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.engine = engine
+        if backend is not None:
+            engine.use_backend(backend)
         self.batch_size = int(batch_size)
         self.batched = bool(batched) and self.batch_size > 1
         self.cache = LRUCache(cache_size)
@@ -241,4 +251,8 @@ class QueryService:
 
     def stats_snapshot(self) -> dict:
         """Service and cache counters in one JSON-stable dictionary."""
-        return {"service": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}
+        snapshot = {"service": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}
+        backend = getattr(self.engine, "backend_name", None)
+        if backend is not None:
+            snapshot["backend"] = backend
+        return snapshot

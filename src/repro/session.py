@@ -72,6 +72,7 @@ def session(
     layout: str | ClusterLayout = "4x1x2",
     options: BFSOptions | None = None,
     hardware: HardwareSpec | None = None,
+    backend=None,
 ) -> "Session":
     """Start a fluent traversal session over a virtual cluster.
 
@@ -85,8 +86,13 @@ def session(
         Engine options; defaults to the paper's main configuration.
     hardware:
         Performance-model hardware; defaults to the paper's Ray system.
+    backend:
+        Execution backend for the super-steps: ``"inline"`` (default),
+        ``"process"`` for the multiprocessing pool over shared memory, or a
+        live :class:`repro.exec.ExecutionBackend`; can also be set fluently
+        via :meth:`Session.backend`.
     """
-    return Session(layout=layout, options=options, hardware=hardware)
+    return Session(layout=layout, options=options, hardware=hardware, backend=backend)
 
 
 class Session:
@@ -97,12 +103,14 @@ class Session:
         layout: str | ClusterLayout = "4x1x2",
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
+        backend=None,
     ) -> None:
         self._layout = (
             layout if isinstance(layout, ClusterLayout) else ClusterLayout.from_notation(layout)
         )
         self._options = options
         self._hardware = hardware
+        self._backend = backend
         self._edges: EdgeList | None = None
         self._threshold: int | _Auto = auto
         self._built: GraphSession | None = None
@@ -168,6 +176,22 @@ class Session:
         self._built = None
         return self
 
+    def backend(self, backend) -> "Session":
+        """Choose where super-steps execute (``"inline"`` / ``"process"``).
+
+        Accepts a backend registry name, a live
+        :class:`repro.exec.ExecutionBackend` instance, or ``None`` for the
+        ``REPRO_BACKEND`` environment default.  An already-built graph
+        session switches in place (the partitioning is reused).
+
+        >>> import repro  # doctest: +SKIP
+        >>> repro.session().generate(scale=16).backend("process").bfs(0)
+        """
+        self._backend = backend
+        if self._built is not None:
+            self._built.backend(backend)
+        return self
+
     # ------------------------------------------------------------------ #
     # Building and running
     # ------------------------------------------------------------------ #
@@ -183,7 +207,12 @@ class Session:
         if isinstance(threshold, _Auto):
             threshold = suggest_threshold(self._edges, self._layout.num_gpus)
         graph = build_partitions(self._edges, self._layout, threshold)
-        engine = TraversalEngine(graph, options=self._options, hardware=self._hardware)
+        engine = TraversalEngine(
+            graph,
+            options=self._options,
+            hardware=self._hardware,
+            backend=self._backend,
+        )
         self._built = GraphSession(edges=self._edges, graph=graph, engine=engine)
         return self._built
 
@@ -241,6 +270,31 @@ class GraphSession:
     def run(self, program: FrontierProgram) -> TraversalResult:
         """Run any frontier program on this graph."""
         return self.engine.run(program)
+
+    def backend(self, backend) -> "GraphSession":
+        """Switch execution backends on the live engine (partition reused).
+
+        ``backend`` is a registry name (``"inline"`` / ``"process"``), a
+        live :class:`repro.exec.ExecutionBackend`, or ``None`` for the
+        environment default; the previously engine-owned backend is closed.
+        """
+        self.engine.use_backend(backend)
+        return self
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the execution backend in effect."""
+        return self.engine.backend_name
+
+    def close(self) -> None:
+        """Release the engine's execution backend (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Algorithm shorthands
@@ -337,8 +391,18 @@ class GraphSession:
             batch_size = DEFAULT_BATCH_SIZE
         return self.engine.run_many(programs, batch_size=batch_size)
 
-    def serve(self, batch_size: int = 32, cache_size: int = 1024, batched: bool = True):
+    def serve(
+        self,
+        batch_size: int = 32,
+        cache_size: int = 1024,
+        batched: bool = True,
+        backend=None,
+    ):
         """A :class:`repro.serve.QueryService` bound to this graph.
+
+        ``backend`` (a name or :class:`repro.exec.ExecutionBackend`) switches
+        this session's engine before serving, so batched sweeps can run on
+        the process pool; ``None`` keeps the engine's current backend.
 
         >>> import repro  # doctest: +SKIP
         >>> service = repro.session().generate(scale=14).serve(batch_size=32)
@@ -353,6 +417,7 @@ class GraphSession:
             batch_size=batch_size,
             cache_size=cache_size,
             batched=batched,
+            backend=backend,
         )
 
     def bench(
