@@ -18,7 +18,11 @@ partitioner, the communication channels and the performance model.  The
 engine also runs MS-BFS-style *batches* — B sources through one frontier
 sweep with per-vertex lane bitsets — and :mod:`repro.serve` builds a
 query-serving layer on top (admission coalescing, LRU result cache,
-queries/second benchmarks).
+queries/second benchmarks).  :mod:`repro.dynamic` makes graphs *mutable*:
+edge-delta batches land in a per-GPU adjacency overlay (compacted back into
+clean CSR on demand), maintained answers are repaired incrementally from a
+bounded frontier instead of recomputed, and the serve layer invalidates its
+cache by graph-version epoch bumps.
 
 Quickstart (fluent API)
 -----------------------
@@ -67,9 +71,17 @@ from repro.core import (
     TraversalResult,
     run_campaign,
 )
+from repro.dynamic import (
+    DynamicEngine,
+    DynamicGraph,
+    EdgeDelta,
+    MaintainedComponents,
+    MaintainedLevels,
+    update_stream,
+)
 from repro.graph import EdgeList, friendster_like, generate_rmat, wdc_like
 from repro.partition import ClusterLayout, build_partitions, suggest_threshold
-from repro.serve import Query, QueryService, ZipfWorkload
+from repro.serve import MixedWorkload, Query, QueryService, ZipfWorkload
 from repro.session import GraphSession, Session, auto, session
 from repro.validate import validate_distances
 
@@ -107,6 +119,14 @@ __all__ = [
     "QueryService",
     "Query",
     "ZipfWorkload",
+    "MixedWorkload",
+    # dynamic graphs
+    "DynamicGraph",
+    "DynamicEngine",
+    "EdgeDelta",
+    "update_stream",
+    "MaintainedLevels",
+    "MaintainedComponents",
     # options + hardware
     "BFSOptions",
     "HardwareSpec",

@@ -43,6 +43,7 @@ __all__ = [
     "time_program",
     "run_scenario",
     "run_serve_scenario",
+    "run_dynamic_scenario",
     "run_suite",
 ]
 
@@ -261,11 +262,178 @@ def run_serve_scenario(
     }
 
 
+def run_dynamic_scenario(
+    spec: Scenario,
+    repeats: int = 2,
+    check_determinism: bool = True,
+    dyn_incremental: bool = True,
+    backend: str | None = None,
+) -> dict:
+    """Execute one dynamic scenario: replay its update stream, measure repair.
+
+    Each repeat builds a *fresh* :class:`repro.dynamic.DynamicGraph` (updates
+    mutate it), runs the initial full traversal, then applies every pinned
+    update batch twice over: the **incremental repair** through the
+    maintained answer and the **full recompute** that doubles as the
+    bit-identical verification.  Because both paths always run, the recorded
+    counters — update totals, both paths' examined edges and modeled times,
+    answer checksums — are independent of ``dyn_incremental``; the flag only
+    decides which path's wall time lands in the gated ``traversal`` phase,
+    so a ``--dyn-recompute`` artifact and a default artifact of the same
+    scenario differ purely in maintenance strategy.
+    """
+    import time
+
+    from repro.dynamic.graph import DynamicEngine, DynamicGraph
+    from repro.dynamic.incremental import MaintainedComponents, MaintainedLevels
+
+    with Timer() as build_timer:
+        edges = spec.build_edges()
+    layout = ClusterLayout.from_notation(spec.layout)
+    threshold = (
+        spec.threshold
+        if spec.threshold is not None
+        else suggest_threshold(edges, layout.num_gpus)
+    )
+    stream = spec.update_stream(edges)
+    source = spec.pick_sources(edges)[0] if spec.maintained == "levels" else None
+
+    walls: list[dict] = []
+    counters: dict | None = None
+    modeled_measured = 0.0
+    partition_s = float("inf")
+    backend_name = ""
+    for _ in range(repeats):
+        with Timer() as partition_timer:
+            dyn = DynamicGraph(edges, layout, threshold)
+        partition_s = min(partition_s, partition_timer.elapsed)
+        engine = DynamicEngine(dyn, options=spec.options, backend=backend or spec.backend)
+        try:
+            backend_name = engine.backend_name
+            if spec.maintained == "levels":
+                maintained = MaintainedLevels(engine, source)
+            else:
+                maintained = MaintainedComponents(engine)
+            initial = maintained.result
+            initial_wall = float(initial.wall_s["traversal"])
+
+            inserts = deletes = 0
+            repair_wall = 0.0
+            recompute_wall = 0.0
+            recompute_edges = 0
+            recompute_modeled = 0.0
+            apply_wall = 0.0
+            checksum = 0
+            for i, delta in enumerate(stream):
+                apply_started = time.perf_counter()
+                applied = engine.apply_delta(delta)
+                apply_wall += time.perf_counter() - apply_started
+                inserts += applied.num_inserts
+                deletes += applied.num_deletes
+                update_started = time.perf_counter()
+                repaired = maintained.update(applied)
+                repair_wall += time.perf_counter() - update_started
+                fresh = maintained.verify()  # raises on any divergence
+                recompute_wall += float(fresh.wall_s["traversal"])
+                recompute_edges += int(fresh.total_edges_examined)
+                recompute_modeled += float(fresh.timing.elapsed_ms)
+                checksum ^= int(
+                    hash64(np.uint64(values_checksum(repaired)), seed=i + 1)
+                )
+            stats = maintained.stats.as_dict()
+            current = {
+                "updates_applied": len(stream),
+                "insert_edges": inserts,
+                "delete_edges": deletes,
+                "compactions": dyn.compactions,
+                "final_version": dyn.version,
+                "overlay_edges": dyn.overlay.num_edges,
+                "repairs": stats["repairs"],
+                "maintenance_recomputes": stats["recomputes"] - 1,  # minus initial
+                "skipped": stats["skipped"],
+                "repair_edges": stats["repair_edges"],
+                "repair_iterations": stats["repair_iterations"],
+                "repair_modeled_ms": stats["repair_modeled_ms"],
+                "recompute_edges": recompute_edges,
+                "recompute_modeled_ms": recompute_modeled,
+                "initial_edges": int(initial.total_edges_examined),
+                "initial_modeled_ms": float(initial.timing.elapsed_ms),
+                "answers_checksum": checksum,
+            }
+            if counters is None:
+                counters = current
+            elif check_determinism and current != counters:
+                raise BenchDeterminismError(
+                    "dynamic counters differ between two identical passes: "
+                    f"{counters} vs {current}"
+                )
+            # The maintained path's modeled cost includes recompute fallbacks
+            # (deletions); the measured mode decides the gated wall phase.
+            modeled_incremental = (
+                stats["repair_modeled_ms"]
+                + stats["recompute_modeled_ms"]
+                - float(initial.timing.elapsed_ms)
+            )
+            measured_wall = repair_wall if dyn_incremental else recompute_wall
+            modeled_measured = modeled_incremental if dyn_incremental else recompute_modeled
+            modeled_recompute = recompute_modeled
+            walls.append(
+                {
+                    "initial": initial_wall,
+                    "apply": apply_wall,
+                    "traversal": initial_wall + measured_wall,
+                    "incremental": repair_wall,
+                    "recompute": recompute_wall,
+                }
+            )
+        finally:
+            engine.close()
+
+    wall = {phase: min(w[phase] for w in walls) for phase in walls[0]}
+    # The dynamic section derives its wall numbers from the same per-phase
+    # minima as wall_s, so the two views of one artifact can never
+    # contradict each other; the modeled values are deterministic (the
+    # repeats guard above proves it), so the last repeat's suffice.
+    maintain_total = wall["apply"] + (
+        wall["incremental"] if dyn_incremental else wall["recompute"]
+    )
+    dynamic_section = {
+        "mode": "incremental" if dyn_incremental else "recompute",
+        "updates": len(stream),
+        "updates_per_sec": len(stream) / maintain_total if maintain_total > 0 else 0.0,
+        "wall_incremental_s": wall["incremental"],
+        "wall_recompute_s": wall["recompute"],
+        "wall_apply_s": wall["apply"],
+        "wall_speedup": (
+            wall["recompute"] / wall["incremental"] if wall["incremental"] > 0 else 0.0
+        ),
+        "modeled_incremental_ms": modeled_incremental,
+        "modeled_recompute_ms": modeled_recompute,
+        "modeled_speedup": (
+            modeled_recompute / modeled_incremental if modeled_incremental > 0 else 0.0
+        ),
+    }
+    wall["graph_build"] = build_timer.elapsed
+    wall["partition"] = partition_s
+    wall["total"] = build_timer.elapsed + partition_s + wall["traversal"] + wall["apply"]
+    return {
+        "spec": spec.describe(),
+        "repeats": repeats,
+        "backend": backend_name,
+        "threshold_used": int(threshold),
+        "wall_s": {k: float(v) for k, v in sorted(wall.items())},
+        "modeled_ms": {"elapsed_ms": modeled_measured},
+        "counters": counters,
+        "dynamic": dynamic_section,
+    }
+
+
 def run_scenario(
     spec: Scenario,
     repeats: int = 2,
     check_determinism: bool | None = None,
     serve_batched: bool = True,
+    dyn_incremental: bool = True,
     backend: str | None = None,
 ) -> dict:
     """Execute one scenario end to end; return its artifact record.
@@ -282,6 +450,10 @@ def run_scenario(
     serve_batched:
         For serving scenarios only: route misses through the batched MS-BFS
         path (the default) or the sequential baseline.
+    dyn_incremental:
+        For dynamic scenarios only: attribute the gated traversal wall to
+        incremental repair (the default) or to the full-recompute baseline.
+        Counters are identical either way (both paths always run).
     backend:
         Execution backend override; ``None`` runs the scenario's own
         (``spec.backend``).  The resolved name is recorded in the record's
@@ -299,6 +471,14 @@ def run_scenario(
             repeats=repeats,
             check_determinism=check_determinism,
             serve_batched=serve_batched,
+            backend=backend,
+        )
+    if spec.program == "dynamic":
+        return run_dynamic_scenario(
+            spec,
+            repeats=repeats,
+            check_determinism=check_determinism,
+            dyn_incremental=dyn_incremental,
             backend=backend,
         )
 
@@ -359,6 +539,7 @@ def run_suite(
     out_path=None,
     on_record: Callable[[str, dict], None] | None = None,
     serve_batched: bool = True,
+    dyn_incremental: bool = True,
     backend: str | None = None,
 ) -> dict:
     """Run a set of scenarios and assemble (optionally write) one artifact.
@@ -380,6 +561,9 @@ def run_suite(
     serve_batched:
         Serving scenarios only: batched service (default) or the sequential
         baseline (the "before" half of a before/after artifact pair).
+    dyn_incremental:
+        Dynamic scenarios only: time incremental repair (default) or the
+        full-recompute baseline (the "before" half of a pair).
     backend:
         Execution-backend override applied to every scenario (``None`` =
         each scenario's own); recorded per record, never in the spec.
@@ -387,7 +571,11 @@ def run_suite(
     records: dict[str, dict] = {}
     for spec in specs:
         record = run_scenario(
-            spec, repeats=repeats, serve_batched=serve_batched, backend=backend
+            spec,
+            repeats=repeats,
+            serve_batched=serve_batched,
+            dyn_incremental=dyn_incremental,
+            backend=backend,
         )
         records[spec.name] = record
         if on_record is not None:

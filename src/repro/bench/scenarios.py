@@ -36,6 +36,18 @@ across batch sizes and skews.  Their headline metric is queries/second
 coalescing and cache statistics plus an answer checksum — are independent of
 whether the service batches, so a sequential-baseline artifact and a batched
 artifact of the same scenario differ only in wall time.
+
+**Dynamic** scenarios (``program="dynamic"``, the ``dyn-*`` names) replay a
+pinned :func:`repro.dynamic.update_stream` against a mutable graph while a
+maintained answer (BFS levels or connected components) is repaired
+incrementally.  Every batch *always* runs both the bounded repair and the
+full recompute — the recompute doubles as the bit-identical verification —
+so the counters (update totals, both paths' examined edges and modeled
+times, answer checksums) are identical whichever path the run *times*;
+``repro bench run --dyn-recompute`` attributes the gated ``traversal`` wall
+to the recompute path instead of the repair path, giving a cleanly
+comparable before/after artifact pair whose only difference is the
+maintenance strategy.
 """
 
 from __future__ import annotations
@@ -58,8 +70,10 @@ __all__ = ["Scenario", "REGISTRY", "registry", "quick_scenarios", "find_scenario
 
 #: Frontier-program constructors by registry name.  Single-source programs
 #: receive the scenario's source vertex; ``components`` ignores it;
-#: ``serve`` scenarios replay a query stream through the serving layer.
-PROGRAMS = ("levels", "parents", "components", "khop", "serve")
+#: ``serve`` scenarios replay a query stream through the serving layer;
+#: ``dynamic`` scenarios replay an update stream with incremental
+#: maintenance.
+PROGRAMS = ("levels", "parents", "components", "khop", "serve", "dynamic")
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,17 @@ class Scenario:
     pool: int = 192
     #: LRU result-cache capacity.
     cache_size: int = 128
+    # --- dynamic scenarios only (program == "dynamic") ----------------- #
+    #: Which answer is maintained across the stream: "levels" or "components".
+    maintained: str = "levels"
+    #: Update style of the stream ("uniform" or "pa").
+    update_style: str = "uniform"
+    #: Update batches applied.
+    update_batches: int = 4
+    #: Undirected updates per batch.
+    update_edges: int = 2048
+    #: Share of each batch that deletes existing edges.
+    delete_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.program not in PROGRAMS:
@@ -115,6 +140,16 @@ class Scenario:
             raise ValueError(f"unknown graph kind {self.kind!r}")
         if self.program == "serve" and self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.program == "dynamic":
+            if self.maintained not in ("levels", "components"):
+                raise ValueError(
+                    f"unknown maintained program {self.maintained!r}; "
+                    "dynamic scenarios maintain 'levels' or 'components'"
+                )
+            if self.update_batches < 1:
+                raise ValueError(
+                    f"update_batches must be >= 1, got {self.update_batches}"
+                )
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
@@ -147,11 +182,26 @@ class Scenario:
         )
         return [int(s) for s in picked]
 
+    def update_stream(self, edges: EdgeList):
+        """The pinned update stream of a dynamic scenario."""
+        if self.program != "dynamic":
+            raise ValueError(f"scenario {self.name!r} is not a dynamic scenario")
+        from repro.dynamic.delta import update_stream
+
+        return update_stream(
+            edges,
+            num_batches=self.update_batches,
+            edges_per_batch=self.update_edges,
+            style=self.update_style,
+            delete_fraction=self.delete_fraction,
+            seed=self.seed + 3,
+        )
+
     def make_program(self, source: int):
         """Instantiate the frontier program for one source."""
-        if self.program == "serve":
+        if self.program in ("serve", "dynamic"):
             raise ValueError(
-                "serve scenarios replay a query stream through the service; "
+                f"{self.program} scenarios replay a stream; "
                 "they have no single frontier program"
             )
         if self.program == "levels":
@@ -196,6 +246,16 @@ class Scenario:
                     "num_queries": self.num_queries,
                     "pool": self.pool,
                     "cache_size": self.cache_size,
+                }
+            )
+        if self.program == "dynamic":
+            base.update(
+                {
+                    "maintained": self.maintained,
+                    "update_style": self.update_style,
+                    "update_batches": self.update_batches,
+                    "update_edges": self.update_edges,
+                    "delete_fraction": self.delete_fraction,
                 }
             )
         return base
@@ -294,6 +354,40 @@ def _build_registry() -> tuple[Scenario, ...]:
             batch_size=16,
             zipf_skew=0.0,
             quick=True,
+        ),
+        # --- dynamic graphs: update streams + incremental maintenance ----- #
+        # Headline metric: modeled (and wall) traversal time of incremental
+        # repair vs full recompute, with both paths' counters recorded.
+        Scenario(
+            "dyn-rmat14-uniform-levels",
+            "rmat",
+            quick_scale,
+            "dynamic",
+            maintained="levels",
+            update_style="uniform",
+            update_batches=4,
+            update_edges=2048,
+            quick=True,
+        ),
+        Scenario(
+            "dyn-rmat15-pa-components",
+            "rmat",
+            15,
+            "dynamic",
+            maintained="components",
+            update_style="pa",
+            update_batches=4,
+            update_edges=2048,
+        ),
+        Scenario(
+            "dyn-rmat16-pa-levels",
+            "rmat",
+            16,
+            "dynamic",
+            maintained="levels",
+            update_style="pa",
+            update_batches=8,
+            update_edges=4096,
         ),
         # --- full-sweep-only scenarios (bigger scales, more sources) ----- #
         Scenario("rmat16-levels-do-br", "rmat", 16, "levels", sources=4),

@@ -27,7 +27,15 @@ downstream user needs without writing Python:
 ``python -m repro.cli serve``
     The query-serving subsystem: ``serve bench`` replays a deterministic
     Zipf-skewed query stream through the batched :class:`QueryService` and
-    the sequential baseline, reporting queries/second for both.
+    the sequential baseline, reporting queries/second for both; with
+    ``--update-rate`` the stream mixes in edge-update batches served through
+    a mutable graph with epoch-bump cache invalidation.
+``python -m repro.cli mutate``
+    The dynamic-graph subsystem: apply a deterministic update stream to a
+    mutable graph while incrementally maintaining a traversal answer
+    (BFS levels or connected components), verifying every repaired answer
+    against a from-scratch run and reporting the repair-vs-recompute
+    traversal work.
 
 All graph subcommands accept either ``--npz PATH`` (a previously generated
 graph) or ``--scale N`` (generate an RMAT graph on the fly); ``bfs``,
@@ -105,6 +113,44 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--gpus", type=int, default=8, help="GPU count for the TH suggestion")
     census.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    mut = sub.add_parser(
+        "mutate", help="apply an update stream with incremental traversal maintenance"
+    )
+    _add_graph_args(mut)
+    _add_cluster_args(mut)
+    _add_backend_arg(mut)
+    mut.add_argument(
+        "--program",
+        choices=["levels", "components"],
+        default="levels",
+        help="which maintained answer to repair across the stream",
+    )
+    mut.add_argument(
+        "--source", type=int, default=None, help="BFS source (default: a random one)"
+    )
+    mut.add_argument("--batches", type=int, default=4, help="update batches to apply")
+    mut.add_argument(
+        "--edges-per-batch", type=int, default=1024, help="undirected updates per batch"
+    )
+    mut.add_argument(
+        "--style",
+        choices=["uniform", "pa"],
+        default="uniform",
+        help="update style: uniform or preferential attachment",
+    )
+    mut.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.0,
+        help="share of each batch that deletes existing edges",
+    )
+    mut.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-batch bit-identical check against a from-scratch run",
+    )
+    mut.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     bench = sub.add_parser("bench", help="benchmark harness and perf-regression gate")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
 
@@ -137,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run serving scenarios through the sequential baseline instead of "
         "the batched service (the 'before' half of a before/after pair)",
+    )
+    b_run.add_argument(
+        "--dyn-recompute",
+        action="store_true",
+        help="time dynamic scenarios' maintained path as full recompute instead "
+        "of incremental repair (the 'before' half of a before/after pair; "
+        "counters stay identical because both paths always run and agree)",
     )
     from repro.exec.backend import BACKEND_NAMES
 
@@ -202,6 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="query program served to every request",
     )
     s_bench.add_argument("--max-hops", type=int, default=3, help="hop cap for khop")
+    s_bench.add_argument(
+        "--update-rate",
+        type=float,
+        default=0.0,
+        help="fraction of operations that are edge-update batches (serves a "
+        "mutable graph with epoch-bump cache invalidation when > 0)",
+    )
+    s_bench.add_argument(
+        "--update-edges",
+        type=int,
+        default=256,
+        help="undirected insertions per update batch (with --update-rate)",
+    )
+    s_bench.add_argument(
+        "--update-style",
+        choices=["uniform", "pa"],
+        default="uniform",
+        help="update style for the mixed stream (with --update-rate)",
+    )
     s_bench.add_argument(
         "--no-baseline",
         action="store_true",
@@ -489,6 +561,147 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.dynamic import (
+        DynamicEngine,
+        DynamicGraph,
+        MaintainedComponents,
+        MaintainedLevels,
+        update_stream,
+    )
+    from repro.graph.degree import out_degrees
+    from repro.partition.layout import ClusterLayout
+    from repro.utils.rng import random_sources
+
+    edges = _load_graph(args)
+    layout = ClusterLayout.from_notation(args.layout)
+    dynamic = DynamicGraph(edges, layout, args.threshold)
+    engine = DynamicEngine(dynamic, backend=args.backend)
+
+    if args.program == "levels":
+        source = (
+            args.source
+            if args.source is not None
+            else int(
+                random_sources(
+                    edges.num_vertices, 1, rng=args.seed + 1, degrees=out_degrees(edges)
+                )[0]
+            )
+        )
+        maintained = MaintainedLevels(engine, source)
+    else:
+        source = None
+        maintained = MaintainedComponents(engine)
+
+    stream = update_stream(
+        edges,
+        num_batches=args.batches,
+        edges_per_batch=args.edges_per_batch,
+        style=args.style,
+        delete_fraction=args.delete_fraction,
+        seed=args.seed + 3,
+    )
+    if not args.json:
+        print(
+            f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+            f"cluster {layout.notation()} | TH={dynamic.threshold} | "
+            f"maintained {args.program}"
+            + (f" from {source}" if source is not None else "")
+            + f" | backend {engine.backend_name}"
+        )
+        print(
+            f"stream: {args.batches} x {args.edges_per_batch} {args.style} updates, "
+            f"delete fraction {args.delete_fraction}"
+        )
+
+    batches: list[dict] = []
+    try:
+        for i, delta in enumerate(stream):
+            applied = engine.apply_delta(delta)
+            before = maintained.stats.as_dict()
+            result = maintained.update(applied)
+            after = maintained.stats.as_dict()
+            repaired = after["repairs"] > before["repairs"]
+            entry = {
+                "batch": i,
+                "inserted": applied.num_inserts,
+                "deleted": applied.num_deletes,
+                "version": applied.version,
+                "compacted": applied.compacted,
+                "compact_reason": applied.compact_reason,
+                "path": "repair" if repaired else (
+                    "recompute" if after["recomputes"] > before["recomputes"] else "skip"
+                ),
+                "iterations": int(result.iterations),
+                "edges_examined": int(result.total_edges_examined),
+                "modeled_ms": float(result.timing.elapsed_ms),
+            }
+            if not args.no_verify:
+                fresh = maintained.verify()
+                entry["verified"] = True
+                entry["recompute_modeled_ms"] = float(fresh.timing.elapsed_ms)
+                entry["recompute_edges_examined"] = int(fresh.total_edges_examined)
+            batches.append(entry)
+            if not args.json:
+                line = (
+                    f"  batch {i}: +{entry['inserted']}/-{entry['deleted']} edges "
+                    f"-> {entry['path']} ({entry['iterations']} iters, "
+                    f"{entry['edges_examined']:,} edges, {entry['modeled_ms']:.3f} ms modeled)"
+                )
+                if entry["compacted"]:
+                    line += f" [compacted: {entry['compact_reason']}]"
+                if "recompute_modeled_ms" in entry and entry["modeled_ms"] > 0:
+                    line += (
+                        f" vs recompute {entry['recompute_modeled_ms']:.3f} ms "
+                        f"({entry['recompute_modeled_ms'] / entry['modeled_ms']:.1f}x)"
+                    )
+                print(line)
+    finally:
+        engine.close()
+
+    stats = maintained.stats.as_dict()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": {
+                        "vertices": int(edges.num_vertices),
+                        "directed_edges": int(dynamic.num_directed_edges),
+                        "layout": layout.notation(),
+                        "threshold": int(dynamic.threshold),
+                    },
+                    "program": args.program,
+                    "source": source,
+                    "style": args.style,
+                    "verified": not args.no_verify,
+                    "batches": batches,
+                    "stats": stats,
+                    "final_version": dynamic.version,
+                    "compactions": dynamic.compactions,
+                    "overlay_edges": dynamic.overlay.num_edges,
+                    "overlay_edges_per_gpu": [
+                        int(e) for e in dynamic.overlay.edges_per_gpu()
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(
+        f"maintenance: {stats['repairs']} repairs, {stats['recomputes']} recomputes, "
+        f"{stats['skipped']} skipped | repair examined {stats['repair_edges']:,} edges "
+        f"({stats['repair_modeled_ms']:.3f} ms modeled)"
+    )
+    if not args.no_verify:
+        print("every maintained answer verified bit-identical to a from-scratch run")
+    print(
+        f"graph: version {dynamic.version}, {dynamic.compactions} compaction(s), "
+        f"{dynamic.overlay.num_edges:,} overlay edges resident"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "list":
         return _cmd_bench_list(args)
@@ -504,10 +717,19 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
 
     specs = quick_scenarios() if args.quick else registry()
     if args.json:
+        # The stable tooling contract: every entry carries at least
+        # (name, family, program, backend) so scripts can slice the registry
+        # without parsing the text table.
         print(
             json.dumps(
                 [
-                    {"name": s.name, "quick": s.quick, "backend": s.backend, **s.describe()}
+                    {
+                        "name": s.name,
+                        "family": s.kind,
+                        "quick": s.quick,
+                        "backend": s.backend,
+                        **s.describe(),
+                    }
                     for s in specs
                 ],
                 indent=2,
@@ -559,6 +781,16 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         if args.json:
             return
         wall = record["wall_s"]
+        if "dynamic" in record:
+            d = record["dynamic"]
+            print(
+                f"  {name:<28} dynamic   {wall['traversal'] * 1e3:8.2f} ms wall "
+                f"({d['mode']}, {d['updates']} updates, "
+                f"{d['updates_per_sec']:,.0f} upd/s, modeled repair "
+                f"{d['modeled_incremental_ms']:.2f} ms vs recompute "
+                f"{d['modeled_recompute_ms']:.2f} ms = {d['modeled_speedup']:.1f}x)"
+            )
+            return
         if "throughput" in record:
             t = record["throughput"]
             print(
@@ -587,6 +819,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         out_path=out_path,
         on_record=progress,
         serve_batched=not args.serve_sequential,
+        dyn_incremental=not args.dyn_recompute,
         backend=args.backend,
     )
     if args.json:
@@ -630,11 +863,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.core.engine import TraversalEngine
     from repro.graph.degree import out_degrees
-    from repro.serve import QueryService, ZipfWorkload
+    from repro.serve import MixedWorkload, QueryService, ZipfWorkload
 
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
-    engine = TraversalEngine(graph, backend=args.backend)
+    mixed = args.update_rate > 0
+    engine = None if mixed else TraversalEngine(graph, backend=args.backend)
     workload = ZipfWorkload(
         num_queries=args.queries,
         skew=args.skew,
@@ -643,41 +877,84 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         program=args.program,
         max_hops=args.max_hops if args.program == "khop" else None,
     )
-    stream = workload.generate(edges.num_vertices, degrees=out_degrees(edges))
+    degrees = out_degrees(edges)
+    if mixed:
+        mixed_workload = MixedWorkload(
+            queries=workload,
+            update_rate=args.update_rate,
+            edges_per_update=args.update_edges,
+            update_style=args.update_style,
+            update_seed=args.seed + 4,
+        )
+        stream = mixed_workload.generate(edges, degrees=degrees)
+    else:
+        stream = workload.generate(edges.num_vertices, degrees=degrees)
 
     if not args.json:
+        from repro.exec.backend import default_backend_name
+
         print(
             f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
-            f"delegates {graph.num_delegates:,} | backend {engine.backend_name}"
+            f"delegates {graph.num_delegates:,} | backend "
+            f"{engine.backend_name if engine is not None else (args.backend or default_backend_name())}"
         )
-        print(
-            f"workload: {args.queries} {args.program} queries, "
+        line = (
+            f"workload: {args.queries} {args.program} ops, "
             f"zipf skew {args.skew}, pool {workload.pool}, "
             f"batch {args.batch_size}, cache {args.cache_size}"
         )
+        if mixed:
+            line += (
+                f", update rate {args.update_rate} "
+                f"({args.update_edges} {args.update_style} edges/batch)"
+            )
+        print(line)
 
     def replay(batched: bool) -> QueryService:
+        if mixed:
+            # Updates mutate the graph, so every replay gets its own mutable
+            # view — each adopts the already-built partitioning (read-only;
+            # compaction replaces rather than mutates it) and applies the
+            # identical pinned stream.
+            from repro.dynamic import DynamicEngine, DynamicGraph
+
+            replay_engine = DynamicEngine(
+                DynamicGraph(edges, layout, threshold, partitioned=graph),
+                backend=args.backend,
+            )
+        else:
+            replay_engine = engine
         service = QueryService(
-            engine,
+            replay_engine,
             batch_size=args.batch_size,
             cache_size=args.cache_size,
             batched=batched,
         )
-        service.serve(stream)
+        try:
+            if mixed:
+                service.run_mixed(stream)
+            else:
+                service.serve(stream)
+        finally:
+            if mixed:
+                replay_engine.close()
         return service
 
     try:
         batched = replay(batched=True)
         sequential = None if args.no_baseline else replay(batched=False)
-        backend_name = engine.backend_name
+        backend_name = (
+            engine.backend_name if engine is not None else batched.stats_snapshot()["backend"]
+        )
     finally:
-        engine.close()
+        if engine is not None:
+            engine.close()
 
     if args.json:
         out = {
             "graph": _graph_info(edges, layout, threshold, graph),
-            "workload": workload.describe(),
+            "workload": mixed_workload.describe() if mixed else workload.describe(),
             "backend": backend_name,
             "batch_size": args.batch_size,
             "cache_size": args.cache_size,
@@ -695,12 +972,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     def report(tag: str, service: QueryService) -> None:
         s, c = service.stats, service.cache.stats
-        print(
+        line = (
             f"  {tag:<10} {s.queries_per_sec:10,.0f} q/s  "
             f"({s.queries} queries in {s.wall_s:.3f} s, {s.traversals} traversals, "
             f"{s.batches} batches, cache hit rate {c.hit_rate:.0%}, "
             f"{c.evictions} evictions)"
         )
+        if s.updates:
+            line += (
+                f"\n  {'':<10} {s.updates} update batches in {s.update_wall_s:.3f} s, "
+                f"{s.epoch_bumps} epoch bumps, {s.entries_invalidated} entries invalidated"
+            )
+        print(line)
 
     report("batched", batched)
     if sequential is not None:
@@ -724,6 +1007,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_components(args)
     if args.command == "census":
         return _cmd_census(args)
+    if args.command == "mutate":
+        return _cmd_mutate(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":

@@ -41,6 +41,13 @@ persistent worker pool over shared-memory CSR buffers.  Results, workload
 counters and modeled times are backend-independent; only the measured
 ``wall_s`` phases change.
 
+For mutable graphs (:mod:`repro.dynamic`) the loops accept two extensions:
+a pre-seeded ``init`` replacing the program's ``init_state`` (the
+resumable-from-frontier entry point incremental repair starts from) and an
+``overlay`` of not-yet-compacted edge insertions, relaxed from each
+super-step's input frontier on the coordinator so results stay
+backend-invariant.
+
 :class:`DistributedBFS` remains as the seed's entry point: a thin wrapper
 running :class:`repro.core.programs.BFSLevels` through the generic engine
 with behaviour (answers, iteration counts, modeled timings) identical to the
@@ -268,13 +275,34 @@ class TraversalEngine:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, program: FrontierProgram) -> TraversalResult:
-        """Run ``program`` to completion and return its result."""
+    def run(
+        self, program: FrontierProgram, init=None, overlay=None
+    ) -> TraversalResult:
+        """Run ``program`` to completion and return its result.
+
+        Parameters
+        ----------
+        program:
+            The frontier program to execute.
+        init:
+            Optional pre-seeded :class:`repro.core.programs.ProgramInit`
+            replacing ``program.init_state`` — the resumable-from-frontier
+            entry point: incremental maintenance seeds the per-vertex values
+            with an existing answer and the frontier with only the repair
+            seeds, and the super-step loop runs from there instead of from
+            scratch.
+        overlay:
+            Optional :class:`repro.dynamic.OverlayBuffer` of edges not yet
+            compacted into the CSR; each super-step additionally relaxes the
+            overlay edges leaving that step's input frontier, so traversals
+            of a mutable graph see the union graph.
+        """
         opts = self.options
         graph = self.graph
         p = graph.num_gpus
 
-        init = program.init_state(graph)
+        if init is None:
+            init = program.init_state(graph)
         state = TraversalState(
             graph=graph,
             normal_values=init.normal_values,
@@ -304,6 +332,7 @@ class TraversalEngine:
         # per-phase seconds the bench harness reads off the result.
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
         backend = self.backend
+        overlay_live = overlay is not None and not overlay.empty
         run_started = time.perf_counter()
 
         while not state.frontier_empty():
@@ -315,10 +344,16 @@ class TraversalEngine:
                     f"{program.name} exceeded max_iterations={opts.max_iterations}; "
                     "the graph or the engine state is inconsistent"
                 )
+            if overlay_live:
+                pre_frontier = self._capture_frontier(state)
             plan_started = time.perf_counter()
             plan = self._plan_super_step(program, state, communicator, dir_states, level, wall)
             wall["kernels"] += time.perf_counter() - plan_started
             record = backend.run_super_step(plan)
+            if overlay_live:
+                relax_started = time.perf_counter()
+                self._overlay_relax(program, state, overlay, pre_frontier, level, record)
+                wall["kernels"] += time.perf_counter() - relax_started
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -341,7 +376,9 @@ class TraversalEngine:
         }
         return program.make_result(state.gather_values(), base)
 
-    def run_many(self, programs, batch_size: int | None = None) -> "Campaign":
+    def run_many(
+        self, programs, batch_size: int | None = None, overlay=None
+    ) -> "Campaign":
         """Run several programs and aggregate their results into a Campaign.
 
         Duplicate programs (same shipped type and parameters) are traversed
@@ -393,12 +430,12 @@ class TraversalEngine:
             for start in range(0, len(sources), batch_size):
                 chunk = sources[start:start + batch_size]
                 if len(chunk) == 1:
-                    unique_results.append(self.run(unique_programs[start]))
+                    unique_results.append(self.run(unique_programs[start], overlay=overlay))
                     continue
-                batch = self.run_batch(batch_factory(chunk))
+                batch = self.run_batch(batch_factory(chunk), overlay=overlay)
                 unique_results.extend(batch.per_source_results())
         else:
-            unique_results = [self.run(prog) for prog in unique_programs]
+            unique_results = [self.run(prog, overlay=overlay) for prog in unique_programs]
         return Campaign.from_results(
             [unique_results[i] for i in fan], saved_traversals=saved
         )
@@ -406,14 +443,17 @@ class TraversalEngine:
     # ------------------------------------------------------------------ #
     # Batched (MS-BFS style) execution
     # ------------------------------------------------------------------ #
-    def run_batch(self, program: BatchedFrontierProgram) -> BatchResult:
+    def run_batch(self, program: BatchedFrontierProgram, overlay=None) -> BatchResult:
         """Run one batched program (B sources, one fused sweep) to completion.
 
         Every lane's answer is bit-identical to the corresponding sequential
         single-source run; the counters and modeled times describe the fused
         sweep.  Direction optimization applies per subgraph exactly as in the
         sequential path, but with the batched backward workload (full parent
-        lists — a batched pull has no early exit).
+        lists — a batched pull has no early exit).  ``overlay`` edges (a
+        mutable graph's not-yet-compacted insertions) are relaxed per
+        super-step with OR-propagated lane words, mirroring the sequential
+        path, so the per-lane equivalence holds on dynamic graphs too.
         """
         opts = self.options
         graph = self.graph
@@ -443,6 +483,7 @@ class TraversalEngine:
         level = 0
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
         backend = self.backend
+        overlay_live = overlay is not None and not overlay.empty
         run_started = time.perf_counter()
 
         while not state.frontier_empty():
@@ -454,12 +495,20 @@ class TraversalEngine:
                     f"{program.name} exceeded max_iterations={opts.max_iterations}; "
                     "the graph or the engine state is inconsistent"
                 )
+            if overlay_live:
+                pre_frontier = self._capture_batched_frontier(state)
             plan_started = time.perf_counter()
             plan = self._plan_batched_super_step(
                 program, state, communicator, dir_states, level, full_words, wall
             )
             wall["kernels"] += time.perf_counter() - plan_started
             record = backend.run_super_step(plan)
+            if overlay_live:
+                relax_started = time.perf_counter()
+                self._overlay_relax_batched(
+                    program, state, overlay, pre_frontier, level, full_words, record
+                )
+                wall["kernels"] += time.perf_counter() - relax_started
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -481,6 +530,177 @@ class TraversalEngine:
             "wall_s": wall,
         }
         return program.make_result(base)
+
+    # ------------------------------------------------------------------ #
+    # Overlay relaxation (mutable graphs)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _capture_frontier(state: TraversalState) -> list:
+        """Snapshot the step's input frontier (finalize replaces the arrays)."""
+        segments = []
+        for g, slots in enumerate(state.normal_frontiers):
+            if slots.size:
+                segments.append(("n", g, slots))
+        if state.delegate_frontier.size:
+            segments.append(("d", -1, state.delegate_frontier))
+        return segments
+
+    def _overlay_relax(
+        self,
+        program: FrontierProgram,
+        state: TraversalState,
+        overlay,
+        segments: list,
+        level: int,
+        record: IterationRecord,
+    ) -> None:
+        """Relax the overlay edges leaving this step's input frontier.
+
+        Runs on the coordinator after the planned kernels finish (so it is
+        backend-invariant), proposes values through the program's
+        ``visit_value``/``accept`` hooks exactly like a kernel discovery
+        would, merges fresh vertices into the next frontier, and charges the
+        examined overlay edges to the step's counters and modeled
+        computation (unoverlapped — the overlay is a serial side-structure).
+        """
+        graph = self.graph
+        src_ids: list[np.ndarray] = []
+        src_vals: list[np.ndarray] = []
+        for kind, g, arr in segments:
+            if kind == "n":
+                src_ids.append(graph.gpus[g].global_ids_of_locals(arr))
+                src_vals.append(state.normal_values[g][arr])
+            else:
+                src_ids.append(graph.delegate_vertices[arr])
+                src_vals.append(state.delegate_values[arr])
+        if not src_ids:
+            return
+        dst, rep_ids, rep_vals, edges = overlay.propagate(
+            np.concatenate(src_ids), np.concatenate(src_vals)
+        )
+        if edges == 0:
+            return
+        record.edges_examined["overlay"] = record.edges_examined.get("overlay", 0) + edges
+        extra = self.netmodel.traversal_time(edges, backward=False)
+        record.computation_s += extra
+        record.elapsed_s += extra
+        values = program.visit_value(
+            VisitContext(
+                kernel="overlay",
+                gpu=-1,
+                level=level,
+                backward=False,
+                discovered=dst,
+                source_ids=rep_ids,
+                source_values=rep_vals,
+            )
+        )
+        ids, vals = program.merge_remote(dst, values)
+        delegate_ids = graph.delegate_id_of_vertex(ids)
+        is_delegate = delegate_ids >= 0
+        fresh_delegates = state.update_delegates(
+            delegate_ids[is_delegate], vals[is_delegate], program.accept
+        )
+        if fresh_delegates.size:
+            state.delegate_frontier = np.union1d(state.delegate_frontier, fresh_delegates)
+            record.discovered += int(fresh_delegates.size)
+        n_ids, n_vals = ids[~is_delegate], vals[~is_delegate]
+        if n_ids.size:
+            owners = graph.layout.flat_gpu_of(n_ids)
+            slots = graph.layout.local_index_of(n_ids)
+            for g in np.unique(owners):
+                mask = owners == g
+                fresh = state.update_normals(int(g), slots[mask], n_vals[mask], program.accept)
+                if fresh.size:
+                    state.normal_frontiers[g] = np.union1d(state.normal_frontiers[g], fresh)
+                    record.discovered += int(fresh.size)
+
+    @staticmethod
+    def _capture_batched_frontier(state: "_BatchState") -> list:
+        """Snapshot the batched step's input frontier rows + lane words."""
+        segments = []
+        for g, rows in enumerate(state.frontier_n_rows):
+            if rows.size:
+                segments.append(("n", g, rows, state.frontier_n_words[g]))
+        if state.frontier_d_rows.size:
+            segments.append(("d", -1, state.frontier_d_rows, state.frontier_d_words))
+        return segments
+
+    def _overlay_relax_batched(
+        self,
+        program: BatchedFrontierProgram,
+        state: "_BatchState",
+        overlay,
+        segments: list,
+        level: int,
+        full_words: np.ndarray,
+        record: IterationRecord,
+    ) -> None:
+        """Batched analogue of :meth:`_overlay_relax`: OR-propagate the
+        frontier's lane words across the overlay edges and record first
+        visits per lane, keeping every lane bit-identical to its sequential
+        run on the same mutable graph."""
+        graph = self.graph
+        nwords = full_words.size
+        src_ids: list[np.ndarray] = []
+        src_words: list[np.ndarray] = []
+        for kind, g, rows, words in segments:
+            if kind == "n":
+                src_ids.append(graph.gpus[g].global_ids_of_locals(rows))
+            else:
+                src_ids.append(graph.delegate_vertices[rows])
+            src_words.append(words)
+        if not src_ids:
+            return
+        dst, words, edges = overlay.propagate_batch(
+            np.concatenate(src_ids), np.concatenate(src_words), nwords
+        )
+        if edges == 0:
+            return
+        record.edges_examined["overlay"] = record.edges_examined.get("overlay", 0) + edges
+        extra = self.netmodel.traversal_time(edges, backward=False)
+        record.computation_s += extra
+        record.elapsed_s += extra
+
+        def merge_frontier(rows, words, new_rows, new_words):
+            all_rows = np.concatenate([rows, new_rows])
+            all_words = np.concatenate([words, new_words])
+            unique, inverse = np.unique(all_rows, return_inverse=True)
+            merged = np.zeros((unique.size, nwords), dtype=np.uint64)
+            np.bitwise_or.at(merged, inverse, all_words)
+            return unique, merged
+
+        delegate_ids = graph.delegate_id_of_vertex(dst)
+        is_delegate = delegate_ids >= 0
+        d_rows, d_words = delegate_ids[is_delegate], words[is_delegate]
+        if d_rows.size:
+            new = d_words & np.bitwise_not(state.visited_d.words[d_rows]) & full_words[None, :]
+            keep = new.any(axis=1)
+            d_rows, new = d_rows[keep], new[keep]
+            if d_rows.size:
+                state.visited_d.or_rows(d_rows, new)
+                program.record(graph.delegate_vertices[d_rows], new, level)
+                state.frontier_d_rows, state.frontier_d_words = merge_frontier(
+                    state.frontier_d_rows, state.frontier_d_words, d_rows, new
+                )
+                record.discovered += int(d_rows.size)
+        n_dst, n_words = dst[~is_delegate], words[~is_delegate]
+        if n_dst.size:
+            owners = graph.layout.flat_gpu_of(n_dst)
+            slots = graph.layout.local_index_of(n_dst)
+            for g in np.unique(owners):
+                mask = owners == g
+                rows, proposed = slots[mask], n_words[mask]
+                new = proposed & np.bitwise_not(state.visited_n[g].words[rows]) & full_words[None, :]
+                keep = new.any(axis=1)
+                rows, new = rows[keep], new[keep]
+                if rows.size:
+                    state.visited_n[g].or_rows(rows, new)
+                    program.record(graph.gpus[g].global_ids_of_locals(rows), new, level)
+                    state.frontier_n_rows[g], state.frontier_n_words[g] = merge_frontier(
+                        state.frontier_n_rows[g], state.frontier_n_words[g], rows, new
+                    )
+                    record.discovered += int(rows.size)
 
     # ------------------------------------------------------------------ #
     # One super-step

@@ -85,8 +85,20 @@ class SegmentCache:
         while len(self._segments) > self.capacity:
             stale_name, stale = self._segments.popitem(last=False)
             self.derived.pop(stale_name, None)
-            stale.close()
+            try:
+                stale.close()
+            except BufferError:
+                # Some numpy view into this mapping is still alive (e.g. a
+                # task mid-flight holds CSR views).  Drop our reference and
+                # let the mapping unmap when the last view dies — never
+                # crash the worker over an eviction.
+                pass
         return segment
+
+    def touch(self, name: str) -> None:
+        """Refresh ``name``'s recency without (re)attaching it."""
+        if name in self._segments:
+            self._segments.move_to_end(name)
 
     def array(self, name: str, offset: int, dtype, shape) -> np.ndarray:
         """A numpy view into segment ``name`` at ``offset``."""
@@ -107,6 +119,11 @@ def csrs_from_descriptor(cache: SegmentCache, descriptor: dict) -> dict:
     name = descriptor["segment"]
     built = cache.derived.get(name)
     if built is not None:
+        # Mark the backing segment hot: the derived fast path bypasses
+        # ``get``, and without the touch a heavily-reused graph segment
+        # looks LRU-cold and can be evicted from under its own live views
+        # while this very task still reads them.
+        cache.touch(name)
         return built
     csrs: dict = {}
     for (gpu, key), entry in descriptor["csrs"].items():

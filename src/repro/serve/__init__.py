@@ -27,16 +27,18 @@ wall time; ``repro serve bench`` and the ``serve-*`` scenarios in
 :mod:`repro.bench.scenarios` track it.
 """
 
-from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.cache import CacheStats, LRUCache, graph_token
 from repro.serve.service import QueryService, ServiceStats
-from repro.serve.workload import Query, ZipfWorkload, zipf_ranks
+from repro.serve.workload import MixedWorkload, Query, ZipfWorkload, zipf_ranks
 
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "MixedWorkload",
     "Query",
     "QueryService",
     "ServiceStats",
     "ZipfWorkload",
+    "graph_token",
     "zipf_ranks",
 ]

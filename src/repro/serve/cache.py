@@ -11,13 +11,40 @@ lever, so it must be observable).
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "graph_token"]
 
 _MISSING = object()
+
+#: Process-wide registry of graph identity tokens.  ``id()`` can be recycled
+#: after garbage collection, so cache keys built on it could alias two
+#: different graphs; this registry hands every live graph object a distinct
+#: monotone token instead, and a weakref finalizer retires the id-keyed
+#: entry when the graph dies (graph classes are not hashable, so a
+#: WeakKeyDictionary cannot hold them directly).
+_GRAPH_TOKENS: dict[int, int] = {}
+_NEXT_TOKEN = itertools.count(1)
+
+
+def graph_token(graph) -> int:
+    """A process-unique, stable identity token for a live graph object.
+
+    Two simultaneously-live graphs never share a token (unlike ``id()``,
+    which the allocator recycles), so cache keys that include the token
+    cannot collide across graphs even when every run parameter matches.
+    """
+    key = id(graph)
+    token = _GRAPH_TOKENS.get(key)
+    if token is None:
+        token = next(_NEXT_TOKEN)
+        _GRAPH_TOKENS[key] = token
+        weakref.finalize(graph, _GRAPH_TOKENS.pop, key, None)
+    return token
 
 
 @dataclass
@@ -105,7 +132,13 @@ class LRUCache:
         self._entries[key] = value
         self.stats.size = len(self._entries)
 
-    def clear(self) -> None:
-        """Drop every entry (counters are preserved — they are cumulative)."""
+    def clear(self) -> int:
+        """Drop every entry (counters are preserved — they are cumulative).
+
+        Returns the number of entries dropped, which the serving layer
+        reports as invalidations when a graph mutation bumps the epoch.
+        """
+        dropped = len(self._entries)
         self._entries.clear()
         self.stats.size = 0
+        return dropped

@@ -15,8 +15,18 @@ query-serving system:
    per-source sequential runs — the before/after baseline of the serving
    benchmarks).
 3. **Result cache** — answers land in an LRU keyed by
-   ``(options, program, source, max_hops)`` with hit/miss/eviction counters;
-   on skewed traffic the cache and the batching compound.
+   ``(graph identity, graph version, options, program, source, max_hops)``
+   with hit/miss/eviction counters; on skewed traffic the cache and the
+   batching compound.  The graph identity token keeps two graphs with
+   identical options and sources from ever colliding, and the version tag
+   makes every entry stale the moment the graph mutates.
+4. **Live mutation** — when the engine serves a
+   :class:`repro.dynamic.DynamicGraph`, :meth:`QueryService.apply_delta`
+   applies an update batch and *invalidates by epoch bump*: the graph
+   version in the key advances, every resident entry is purged (counted in
+   ``entries_invalidated`` / ``epoch_bumps``), and subsequent misses
+   traverse the mutated graph.  :meth:`QueryService.run_mixed` replays a
+   mixed read/update stream closed-loop.
 
 The service is synchronous and deterministic: the measured wall-clock is the
 saturated closed-loop throughput, and every counter depends only on the
@@ -35,7 +45,7 @@ from repro.core.programs import (
     BFSLevels,
     KHopReachability,
 )
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, graph_token
 from repro.serve.workload import Query
 
 __all__ = ["ServiceStats", "QueryService"]
@@ -57,8 +67,16 @@ class ServiceStats:
     batched_sources: int = 0
     #: Sources answered by sequential single-source runs.
     sequential_sources: int = 0
+    #: Update batches applied through :meth:`QueryService.apply_delta`.
+    updates: int = 0
+    #: Cache epochs retired by graph mutations (one per applied delta).
+    epoch_bumps: int = 0
+    #: Cached entries invalidated by epoch bumps.
+    entries_invalidated: int = 0
     #: Wall-clock seconds spent inside flushes (traversals + cache work).
     wall_s: float = 0.0
+    #: Wall-clock seconds spent applying update deltas (mutation + repair).
+    update_wall_s: float = 0.0
 
     @property
     def traversals(self) -> int:
@@ -79,7 +97,11 @@ class ServiceStats:
             "batched_sources": self.batched_sources,
             "sequential_sources": self.sequential_sources,
             "traversals": self.traversals,
+            "updates": self.updates,
+            "epoch_bumps": self.epoch_bumps,
+            "entries_invalidated": self.entries_invalidated,
             "wall_s": self.wall_s,
+            "update_wall_s": self.update_wall_s,
             "queries_per_sec": self.queries_per_sec,
         }
 
@@ -126,15 +148,34 @@ class QueryService:
         self.batched = bool(batched) and self.batch_size > 1
         self.cache = LRUCache(cache_size)
         self.stats = ServiceStats()
-        self._pending: list[tuple[Query, tuple]] = []
+        self._pending: list[Query] = []
         self._options_label = engine.options.label()
 
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
+    def graph_identity(self) -> tuple:
+        """The ``(graph token, graph version)`` pair stamped into every key.
+
+        The token is process-unique per live graph object (two graphs with
+        identical options/program/source can never collide); the version is
+        the mutation counter of a dynamic graph (0 for frozen graphs), so a
+        mutation makes every older entry unmatchable.
+        """
+        root = getattr(self.engine, "graph_root", None)
+        if root is None:
+            root = self.engine.graph
+        return (graph_token(root), int(getattr(self.engine, "graph_version", 0)))
+
     def key_of(self, query: Query) -> tuple:
-        """The cache key: engine options + program identity + source."""
-        return (self._options_label, query.program, int(query.source), query.max_hops)
+        """The cache key: graph identity/version + options + program + source."""
+        return (
+            self.graph_identity(),
+            self._options_label,
+            query.program,
+            int(query.source),
+            query.max_hops,
+        )
 
     @property
     def pending(self) -> int:
@@ -144,7 +185,7 @@ class QueryService:
     def submit(self, query: Query) -> int:
         """Queue one query; returns its position in the next flush's results."""
         ticket = len(self._pending)
-        self._pending.append((query, self.key_of(query)))
+        self._pending.append(query)
         return ticket
 
     # ------------------------------------------------------------------ #
@@ -159,6 +200,10 @@ class QueryService:
         """
         pending, self._pending = self._pending, []
         started = time.perf_counter()
+        # Keys are computed at flush time, not admission time: a delta applied
+        # between submit and flush bumps the graph version, and the flush must
+        # answer against the mutated graph, not a retired epoch.
+        pending = [(query, self.key_of(query)) for query in pending]
         answers: dict[tuple, object] = {}
         miss_queries: list[Query] = []
         for query, key in pending:
@@ -212,6 +257,69 @@ class QueryService:
         return self.flush()[ticket]
 
     # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta, flush_pending: bool = True):
+        """Apply one update batch to the served graph; invalidate by epoch.
+
+        Requires the engine to serve a mutable graph (a
+        :class:`repro.dynamic.DynamicEngine`).  Pending queries are flushed
+        first by default — they were admitted against the pre-mutation graph
+        and closed-loop replay answers in arrival order.  The graph version
+        advances, so every resident cache entry becomes unmatchable; the
+        entries are purged eagerly and counted (``entries_invalidated``,
+        ``epoch_bumps``).
+
+        Returns the :class:`repro.dynamic.AppliedDelta` of effective changes.
+        """
+        apply = getattr(self.engine, "apply_delta", None)
+        if apply is None:
+            raise TypeError(
+                "this service serves a frozen graph; build it over a "
+                "repro.dynamic.DynamicEngine to apply deltas"
+            )
+        if flush_pending and self._pending:
+            self.flush()
+        started = time.perf_counter()
+        applied = apply(delta)
+        self.stats.updates += 1
+        self.stats.epoch_bumps += 1
+        self.stats.entries_invalidated += self.cache.clear()
+        self.stats.update_wall_s += time.perf_counter() - started
+        return applied
+
+    def run_mixed(self, operations, wave_size: int | None = None) -> list:
+        """Closed-loop replay of a mixed read/update stream.
+
+        ``operations`` interleaves :class:`repro.serve.workload.Query`
+        requests with :class:`repro.dynamic.EdgeDelta` update batches (what
+        :meth:`repro.serve.workload.MixedWorkload.generate` produces).
+        Queries accumulate in waves of ``wave_size`` (default:
+        ``batch_size``) and flush wave-by-wave; a delta flushes whatever is
+        pending, then mutates the graph and bumps the cache epoch.  Returns
+        the query results in stream order (deltas contribute no entry).
+        """
+        from repro.dynamic.delta import EdgeDelta
+
+        if wave_size is None:
+            wave_size = self.batch_size
+        if wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {wave_size}")
+        results: list = []
+        for op in operations:
+            if isinstance(op, EdgeDelta):
+                if self.pending:
+                    results.extend(self.flush())
+                self.apply_delta(op, flush_pending=False)
+                continue
+            self.submit(op)
+            if self.pending >= wave_size:
+                results.extend(self.flush())
+        if self.pending:
+            results.extend(self.flush())
+        return results
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -250,9 +358,15 @@ class QueryService:
             self.cache.put(key, result)
 
     def stats_snapshot(self) -> dict:
-        """Service and cache counters in one JSON-stable dictionary."""
+        """Service and cache counters in one JSON-stable dictionary.
+
+        Includes the invalidation counters (``entries_invalidated``,
+        ``epoch_bumps`` under ``service``) and the served graph's current
+        mutation version (0 for frozen graphs).
+        """
         snapshot = {"service": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}
         backend = getattr(self.engine, "backend_name", None)
         if backend is not None:
             snapshot["backend"] = backend
+        snapshot["graph_version"] = int(getattr(self.engine, "graph_version", 0))
         return snapshot

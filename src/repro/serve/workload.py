@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.utils.rng import hash64, make_rng
 
-__all__ = ["Query", "ZipfWorkload", "zipf_ranks"]
+__all__ = ["Query", "ZipfWorkload", "MixedWorkload", "zipf_ranks"]
 
 
 @dataclass(frozen=True)
@@ -137,4 +137,92 @@ class ZipfWorkload:
             "seed": self.seed,
             "program": self.program,
             "max_hops": self.max_hops,
+        }
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """A pinned closed-loop stream mixing reads with edge-update batches.
+
+    No real "millions of users" workload is pure reads: profiles follow each
+    other while timelines are queried.  This workload interleaves a
+    :class:`ZipfWorkload` query stream with
+    :class:`repro.dynamic.EdgeDelta` insertion batches at a configurable
+    ``update_rate``, deterministically: operation ``i`` is an update batch
+    exactly when the seeded per-op draw falls under the rate, so the same
+    spec replays the same read/update interleaving on any machine.
+
+    Parameters
+    ----------
+    queries:
+        The read side of the stream (popularity skew, program, length).
+    update_rate:
+        Fraction of operations that are update batches (``0.0``–``0.9``).
+        The total operation count stays ``queries.num_queries``; reads are
+        the remainder.
+    edges_per_update:
+        Undirected insertions per update batch.
+    update_style:
+        ``"uniform"`` or ``"pa"`` (see :func:`repro.dynamic.update_stream`).
+    update_seed:
+        Drives both the interleaving draw and the update-stream generator.
+    """
+
+    queries: ZipfWorkload | None = None
+    update_rate: float = 0.1
+    edges_per_update: int = 256
+    update_style: str = "uniform"
+    update_seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.queries is None:
+            object.__setattr__(self, "queries", ZipfWorkload())
+        if not 0.0 <= self.update_rate <= 0.9:
+            raise ValueError(
+                f"update_rate must be in [0, 0.9], got {self.update_rate}"
+            )
+        if self.edges_per_update < 1:
+            raise ValueError(
+                f"edges_per_update must be >= 1, got {self.edges_per_update}"
+            )
+
+    def generate(self, edges, degrees: np.ndarray | None = None) -> list:
+        """Materialise the operation stream for a prepared edge list.
+
+        Returns a list interleaving :class:`Query` objects with
+        :class:`repro.dynamic.EdgeDelta` batches, in replay order.
+        """
+        from repro.dynamic.delta import update_stream
+
+        num_ops = self.queries.num_queries
+        rng = make_rng(self.update_seed)
+        is_update = rng.random(num_ops) < self.update_rate
+        num_updates = int(np.count_nonzero(is_update))
+        reads = self.queries.generate(edges.num_vertices, degrees=degrees)
+        deltas = (
+            update_stream(
+                edges,
+                num_batches=num_updates,
+                edges_per_batch=self.edges_per_update,
+                style=self.update_style,
+                seed=self.update_seed + 1,
+            )
+            if num_updates
+            else []
+        )
+        ops: list = []
+        read_it = iter(reads)
+        delta_it = iter(deltas)
+        for flag in is_update:
+            ops.append(next(delta_it) if flag else next(read_it))
+        return ops
+
+    def describe(self) -> dict:
+        """JSON-stable description for bench artifacts."""
+        return {
+            "queries": self.queries.describe(),
+            "update_rate": self.update_rate,
+            "edges_per_update": self.edges_per_update,
+            "update_style": self.update_style,
+            "update_seed": self.update_seed,
         }

@@ -263,6 +263,7 @@ class GraphSession:
         self.edges = edges
         self.graph = graph
         self.engine = engine
+        self._dynamic = None
 
     # ------------------------------------------------------------------ #
     # Generic execution
@@ -295,6 +296,74 @@ class GraphSession:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def dynamic(self):
+        """The underlying :class:`repro.dynamic.DynamicGraph` (``None`` until
+        the first :meth:`mutate` turns the session mutable)."""
+        return self._dynamic
+
+    def mutate(
+        self,
+        delta=None,
+        *,
+        inserts=None,
+        deletes=None,
+        max_overlay_fraction: float = 0.05,
+        max_degree_crossings: int | None = None,
+    ):
+        """Apply one edge-update batch to this session's graph.
+
+        The first call turns the session mutable in place: the already-built
+        partitioning is adopted by a :class:`repro.dynamic.DynamicGraph` (no
+        rebuild) and the engine is swapped for a
+        :class:`repro.dynamic.DynamicEngine`, so every subsequent
+        ``bfs``/``components``/``serve``/``run_many`` call sees the mutated
+        graph.  Pass either a prepared :class:`repro.dynamic.EdgeDelta` or
+        ``inserts=`` / ``deletes=`` arrays of ``(u, v)`` pairs.
+
+        >>> import repro  # doctest: +SKIP
+        >>> graph = repro.session().generate(scale=14).build()
+        >>> graph.mutate(inserts=[[0, 42]])
+        >>> graph.bfs(0).distances[42]
+        1
+
+        Returns the :class:`repro.dynamic.AppliedDelta` of effective changes.
+        """
+        from repro.dynamic import DynamicEngine, DynamicGraph, EdgeDelta
+
+        if delta is None:
+            if inserts is None and deletes is None:
+                raise ValueError("pass a delta or inserts=/deletes= edge pairs")
+            delta = EdgeDelta.inserts(inserts if inserts is not None else [])
+            if deletes is not None:
+                dels = EdgeDelta.deletes(deletes)
+                delta = EdgeDelta(
+                    insert_src=delta.insert_src,
+                    insert_dst=delta.insert_dst,
+                    delete_src=dels.delete_src,
+                    delete_dst=dels.delete_dst,
+                )
+        elif inserts is not None or deletes is not None:
+            raise ValueError("pass either a delta object or keyword pairs, not both")
+        if self._dynamic is None:
+            self._dynamic = DynamicGraph(
+                self.edges,
+                self.graph.layout,
+                self.graph.threshold,
+                max_overlay_fraction=max_overlay_fraction,
+                max_degree_crossings=max_degree_crossings,
+                partitioned=self.graph,
+            )
+            self.engine = DynamicEngine(self._dynamic, engine=self.engine)
+        applied = self.engine.apply_delta(delta)
+        # Keep the session's shorthand views pointed at the live graph.
+        self.edges = self._dynamic.edges
+        self.graph = self._dynamic.partitioned
+        return applied
 
     # ------------------------------------------------------------------ #
     # Algorithm shorthands

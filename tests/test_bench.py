@@ -245,7 +245,9 @@ class TestRegistry:
         kinds = {s.kind for s in REGISTRY}
         options = {s.options.label() for s in REGISTRY}
         thresholds = {s.threshold for s in REGISTRY}
-        assert programs == {"levels", "parents", "components", "khop", "serve"}
+        assert programs == {
+            "levels", "parents", "components", "khop", "serve", "dynamic",
+        }
         assert kinds == {"rmat", "uniform", "wdc"}
         assert {"DO+BR", "plain+BR", "DO+IR", "DO+L+U+BR"} <= options
         assert len(thresholds) > 1  # delegate-threshold sweep present

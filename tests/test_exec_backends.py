@@ -262,10 +262,10 @@ class TestRunManyBatchRouting:
         calls = []
         original = engine.run_batch
 
-        def spy(program):
+        def spy(program, overlay=None):
             calls.append(program.width)
             assert program.width >= 2, "a 1-lane batch must never be built"
-            return original(program)
+            return original(program, overlay=overlay)
 
         monkeypatch.setattr(engine, "run_batch", spy)
         return calls

@@ -213,6 +213,32 @@ class TestQueryService:
         assert results[0].distances[0] == 0
         assert results[1].max_hops == 1
 
+    def test_two_identical_graphs_never_share_cache_keys(self, rmat_small, small_layout):
+        # Regression: the key must include graph identity, not just
+        # (options, program, source) — two separately-built graphs with
+        # identical parameters must never collide, even sharing one cache.
+        engine_a = TraversalEngine(build_partitions(rmat_small, small_layout, threshold=16))
+        engine_b = TraversalEngine(build_partitions(rmat_small, small_layout, threshold=16))
+        service_a = QueryService(engine_a, batch_size=2, cache_size=8)
+        service_b = QueryService(engine_b, batch_size=2, cache_size=8)
+        query = Query("levels", 7)
+        assert service_a.key_of(query) != service_b.key_of(query)
+        service_b.cache = service_a.cache  # worst case: a literally shared cache
+        service_a.query(query)
+        service_b.query(query)
+        assert service_a.cache.stats.hits == 0  # b could not reuse a's entry
+        assert service_a.cache.stats.misses == 2
+
+    def test_graph_token_survives_id_recycling(self, rmat_small, small_layout):
+        from repro.serve import graph_token
+
+        tokens = set()
+        for _ in range(3):
+            graph = build_partitions(rmat_small, small_layout, threshold=16)
+            tokens.add(graph_token(graph))
+            del graph  # allow id() reuse; tokens must still be distinct
+        assert len(tokens) == 3
+
     def test_stats_snapshot_json_stable(self, engine):
         service = QueryService(engine, batch_size=2, cache_size=4)
         service.query(Query("levels", 0))
