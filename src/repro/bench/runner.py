@@ -43,6 +43,7 @@ __all__ = [
     "time_program",
     "run_scenario",
     "run_serve_scenario",
+    "run_serve_cluster_scenario",
     "run_dynamic_scenario",
     "run_suite",
 ]
@@ -262,6 +263,107 @@ def run_serve_scenario(
     }
 
 
+def run_serve_cluster_scenario(
+    spec: Scenario,
+    repeats: int = 2,
+    check_determinism: bool = True,
+    cluster_hedging: bool = True,
+    backend: str | None = None,
+) -> dict:
+    """Execute one cluster scenario: replay its open-loop stream, measure tails.
+
+    Each repeat replays the full timed stream through a *fresh* replica pool
+    and dispatcher on the virtual clock (caches and histograms never leak
+    between passes); the real wall time keeps the fastest pass.  The entire
+    snapshot — gated counters *and* the per-mode ``cluster`` section — must
+    be identical across repeats (virtual time is deterministic); only the
+    ``counters`` half is additionally identical across hedging modes and
+    execution backends, which is what the artifact comparator gates.
+
+    ``cluster_hedging=False`` (the ``--cluster-no-hedge`` flag) records the
+    unhedged half of a before/after pair; scenarios with one replica never
+    hedge regardless.
+    """
+    from repro.graph.degree import out_degrees
+    from repro.serve.cluster.dispatcher import ClusterDispatcher
+    from repro.serve.cluster.replica import ReplicaPool
+
+    with Timer() as build_timer:
+        edges = spec.build_edges()
+    layout = ClusterLayout.from_notation(spec.layout)
+    threshold = (
+        spec.threshold
+        if spec.threshold is not None
+        else suggest_threshold(edges, layout.num_gpus)
+    )
+    with Timer() as partition_timer:
+        graph = build_partitions(edges, layout, threshold)
+
+    workload = spec.workload()
+    mutating = spec.cluster_updates > 0
+    stream = workload.generate(
+        edges.num_vertices,
+        degrees=out_degrees(edges),
+        edges=edges if mutating else None,
+    )
+    config = spec.cluster_config(hedge=cluster_hedging)
+
+    walls: list[float] = []
+    snapshot: dict | None = None
+    backend_name = ""
+    for _ in range(repeats):
+        if mutating:
+            # Updates mutate the graph: every repeat serves its own mutable
+            # view adopting the already-built (read-only) partitioning.
+            from repro.dynamic import DynamicGraph
+
+            served = DynamicGraph(edges, layout, threshold, partitioned=graph)
+        else:
+            served = graph
+        pool = ReplicaPool(
+            served,
+            spec.num_replicas,
+            options=spec.options,
+            backend=backend or spec.backend,
+            batch_size=spec.batch_size,
+            cache_size=spec.cache_size,
+        )
+        try:
+            backend_name = pool.backend_name
+            dispatcher = ClusterDispatcher(pool, config)
+            with Timer() as replay_timer:
+                current = dispatcher.run(stream)
+        finally:
+            pool.close()
+        if snapshot is None:
+            snapshot = current
+        elif check_determinism and current != snapshot:
+            raise BenchDeterminismError(
+                "cluster snapshot differs between two identical passes: "
+                f"{snapshot} vs {current}"
+            )
+        walls.append(replay_timer.elapsed)
+
+    replay_wall = min(walls)
+    wall = {
+        "graph_build": build_timer.elapsed,
+        "partition": partition_timer.elapsed,
+        "traversal": replay_wall,
+        "total": build_timer.elapsed + partition_timer.elapsed + replay_wall,
+    }
+    return {
+        "spec": spec.describe(),
+        "repeats": repeats,
+        "backend": backend_name,
+        "threshold_used": int(threshold),
+        "workload": workload.describe(),
+        "wall_s": {k: float(v) for k, v in sorted(wall.items())},
+        "modeled_ms": {"elapsed_ms": snapshot["cluster"]["virtual_makespan_ms"]},
+        "counters": snapshot["counters"],
+        "cluster": snapshot["cluster"],
+    }
+
+
 def run_dynamic_scenario(
     spec: Scenario,
     repeats: int = 2,
@@ -433,6 +535,7 @@ def run_scenario(
     repeats: int = 2,
     check_determinism: bool | None = None,
     serve_batched: bool = True,
+    cluster_hedging: bool = True,
     dyn_incremental: bool = True,
     backend: str | None = None,
 ) -> dict:
@@ -450,6 +553,10 @@ def run_scenario(
     serve_batched:
         For serving scenarios only: route misses through the batched MS-BFS
         path (the default) or the sequential baseline.
+    cluster_hedging:
+        For cluster scenarios only: hedge stragglers to a second replica
+        (the default) or serve without hedging — the before/after axis of
+        the tail-latency pair.  Gated counters are identical either way.
     dyn_incremental:
         For dynamic scenarios only: attribute the gated traversal wall to
         incremental repair (the default) or to the full-recompute baseline.
@@ -471,6 +578,14 @@ def run_scenario(
             repeats=repeats,
             check_determinism=check_determinism,
             serve_batched=serve_batched,
+            backend=backend,
+        )
+    if spec.program == "serve_cluster":
+        return run_serve_cluster_scenario(
+            spec,
+            repeats=repeats,
+            check_determinism=check_determinism,
+            cluster_hedging=cluster_hedging,
             backend=backend,
         )
     if spec.program == "dynamic":
@@ -539,6 +654,7 @@ def run_suite(
     out_path=None,
     on_record: Callable[[str, dict], None] | None = None,
     serve_batched: bool = True,
+    cluster_hedging: bool = True,
     dyn_incremental: bool = True,
     backend: str | None = None,
 ) -> dict:
@@ -561,6 +677,9 @@ def run_suite(
     serve_batched:
         Serving scenarios only: batched service (default) or the sequential
         baseline (the "before" half of a before/after artifact pair).
+    cluster_hedging:
+        Cluster scenarios only: hedged serving (default) or the unhedged
+        baseline (the "before" half of a tail-latency pair).
     dyn_incremental:
         Dynamic scenarios only: time incremental repair (default) or the
         full-recompute baseline (the "before" half of a pair).
@@ -574,6 +693,7 @@ def run_suite(
             spec,
             repeats=repeats,
             serve_batched=serve_batched,
+            cluster_hedging=cluster_hedging,
             dyn_incremental=dyn_incremental,
             backend=backend,
         )

@@ -37,6 +37,18 @@ coalescing and cache statistics plus an answer checksum — are independent of
 whether the service batches, so a sequential-baseline artifact and a batched
 artifact of the same scenario differ only in wall time.
 
+**Cluster serving** scenarios (``program="serve_cluster"``, the
+``serve-cluster-*`` names) replay a timed *open-loop* stream — Poisson,
+bursty or diurnal arrivals over the same Zipf query machinery — through N
+:class:`repro.serve.QueryService` replicas on a deterministic virtual clock
+(:mod:`repro.serve.cluster`).  Their headline metric is tail latency
+(p50/p95/p99 and SLO violations in the artifact's ``cluster`` section);
+their gated counters — arrivals, admissions, sheds, cache traffic, an
+answer checksum — are independent of whether request hedging is enabled
+(``repro bench run --cluster-no-hedge`` records the unhedged half of a
+before/after pair) and of the execution backend, because the virtual
+timeline is driven purely by modeled service times.
+
 **Dynamic** scenarios (``program="dynamic"``, the ``dyn-*`` names) replay a
 pinned :func:`repro.dynamic.update_stream` against a mutable graph while a
 maintained answer (BFS levels or connected components) is repaired
@@ -71,9 +83,10 @@ __all__ = ["Scenario", "REGISTRY", "registry", "quick_scenarios", "find_scenario
 #: Frontier-program constructors by registry name.  Single-source programs
 #: receive the scenario's source vertex; ``components`` ignores it;
 #: ``serve`` scenarios replay a query stream through the serving layer;
-#: ``dynamic`` scenarios replay an update stream with incremental
-#: maintenance.
-PROGRAMS = ("levels", "parents", "components", "khop", "serve", "dynamic")
+#: ``serve_cluster`` scenarios replay a timed open-loop stream through the
+#: replicated cluster tier on a virtual clock; ``dynamic`` scenarios replay
+#: an update stream with incremental maintenance.
+PROGRAMS = ("levels", "parents", "components", "khop", "serve", "serve_cluster", "dynamic")
 
 
 @dataclass(frozen=True)
@@ -119,6 +132,32 @@ class Scenario:
     pool: int = 192
     #: LRU result-cache capacity.
     cache_size: int = 128
+    # --- cluster scenarios only (program == "serve_cluster") ----------- #
+    #: Arrival process of the open-loop stream: "poisson", "bursty" or
+    #: "diurnal".
+    arrivals: str = "poisson"
+    #: Long-run average offered load, queries per (virtual) second.
+    arrival_rate_qps: float = 500.0
+    #: Serving replicas in the pool.
+    num_replicas: int = 3
+    #: Admission bound: maximum in-flight requests (0 = unbounded).
+    queue_limit: int = 64
+    #: Hedge a straggler once its age passes this latency quantile.
+    hedge_quantile: float = 0.95
+    #: Completed requests required before hedging arms.
+    hedge_min_samples: int = 32
+    #: Latency objective (ms) for the SLO-violation counter; None disables.
+    slo_ms: float | None = 50.0
+    #: Request router: "affinity" (source-hashed) or "least-queue".
+    router: str = "affinity"
+    #: On/off cycle length (ms) of bursty arrivals.
+    burst_period_ms: float = 200.0
+    #: Fraction of each bursty cycle that carries traffic.
+    burst_duty: float = 0.25
+    #: Update batches spliced into the open-loop stream (0 = read-only).
+    #: Each is fanned out to every replica via epoch-bump invalidation;
+    #: size and style reuse ``update_edges`` / ``update_style``.
+    cluster_updates: int = 0
     # --- dynamic scenarios only (program == "dynamic") ----------------- #
     #: Which answer is maintained across the stream: "levels" or "components".
     maintained: str = "levels"
@@ -138,8 +177,28 @@ class Scenario:
             )
         if self.kind not in ("rmat", "uniform", "wdc"):
             raise ValueError(f"unknown graph kind {self.kind!r}")
-        if self.program == "serve" and self.batch_size < 1:
+        if self.program in ("serve", "serve_cluster") and self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.program == "serve_cluster":
+            from repro.serve.cluster.openloop import ARRIVAL_KINDS
+
+            if self.arrivals not in ARRIVAL_KINDS:
+                raise ValueError(
+                    f"unknown arrival kind {self.arrivals!r}; "
+                    f"expected one of {ARRIVAL_KINDS}"
+                )
+            if not self.arrival_rate_qps > 0:
+                raise ValueError(
+                    f"arrival_rate_qps must be positive, got {self.arrival_rate_qps}"
+                )
+            if self.num_replicas < 1:
+                raise ValueError(
+                    f"num_replicas must be >= 1, got {self.num_replicas}"
+                )
+            if self.cluster_updates < 0:
+                raise ValueError(
+                    f"cluster_updates must be >= 0, got {self.cluster_updates}"
+                )
         if self.program == "dynamic":
             if self.maintained not in ("levels", "components"):
                 raise ValueError(
@@ -213,16 +272,55 @@ class Scenario:
         return ConnectedComponents()
 
     def workload(self):
-        """The pinned query stream of a serving scenario."""
-        if self.program != "serve":
+        """The pinned query stream of a serving (closed- or open-loop) scenario."""
+        if self.program not in ("serve", "serve_cluster"):
             raise ValueError(f"scenario {self.name!r} is not a serving scenario")
         from repro.serve.workload import ZipfWorkload
 
-        return ZipfWorkload(
+        queries = ZipfWorkload(
             num_queries=self.num_queries,
             skew=self.zipf_skew,
             pool=self.pool,
             seed=self.seed + 2,
+        )
+        if self.program == "serve":
+            return queries
+        from repro.serve.cluster.openloop import OpenLoopWorkload, make_arrivals
+
+        return OpenLoopWorkload(
+            queries=queries,
+            arrivals=make_arrivals(
+                self.arrivals,
+                self.arrival_rate_qps,
+                seed=self.seed + 4,
+                period_ms=self.burst_period_ms,
+                duty=self.burst_duty,
+            ),
+            num_updates=self.cluster_updates,
+            edges_per_update=self.update_edges,
+            update_style=self.update_style,
+            update_seed=self.seed + 4,
+        )
+
+    def cluster_config(self, hedge: bool = True):
+        """The cluster-tier configuration of a ``serve_cluster`` scenario.
+
+        ``hedge`` is a *run mode*, not spec identity — like the serving
+        scenarios' batched/sequential switch, the gated counters are
+        identical either way, so a hedged and an unhedged artifact of the
+        same scenario compare cleanly.
+        """
+        if self.program != "serve_cluster":
+            raise ValueError(f"scenario {self.name!r} is not a cluster scenario")
+        from repro.serve.cluster.dispatcher import ClusterConfig
+
+        return ClusterConfig(
+            queue_limit=self.queue_limit,
+            hedge=hedge and self.num_replicas >= 2,
+            hedge_quantile=self.hedge_quantile,
+            hedge_min_samples=self.hedge_min_samples,
+            slo_ms=self.slo_ms,
+            router=self.router,
         )
 
     def describe(self) -> dict:
@@ -238,7 +336,7 @@ class Scenario:
             "sources": self.sources if self.program != "components" else 1,
             "max_hops": self.max_hops if self.program == "khop" else None,
         }
-        if self.program == "serve":
+        if self.program in ("serve", "serve_cluster"):
             base.update(
                 {
                     "batch_size": self.batch_size,
@@ -248,6 +346,29 @@ class Scenario:
                     "cache_size": self.cache_size,
                 }
             )
+        if self.program == "serve_cluster":
+            base.update(
+                {
+                    "arrivals": self.arrivals,
+                    "arrival_rate_qps": self.arrival_rate_qps,
+                    "num_replicas": self.num_replicas,
+                    "queue_limit": self.queue_limit,
+                    "hedge_quantile": self.hedge_quantile,
+                    "hedge_min_samples": self.hedge_min_samples,
+                    "slo_ms": self.slo_ms,
+                    "router": self.router,
+                    "burst_period_ms": self.burst_period_ms,
+                    "burst_duty": self.burst_duty,
+                    "cluster_updates": self.cluster_updates,
+                }
+            )
+            if self.cluster_updates:
+                base.update(
+                    {
+                        "update_style": self.update_style,
+                        "update_edges": self.update_edges,
+                    }
+                )
         if self.program == "dynamic":
             base.update(
                 {
@@ -354,6 +475,49 @@ def _build_registry() -> tuple[Scenario, ...]:
             batch_size=16,
             zipf_skew=0.0,
             quick=True,
+        ),
+        # --- cluster serving: open-loop load, backpressure, hedging ------- #
+        # Headline metric: tail latency (p99) under an offered load through
+        # the replicated tier; the gated counters (arrivals/sheds/cache/
+        # answers) are identical with hedging on or off, so a hedged and an
+        # unhedged artifact of one scenario form a clean before/after pair.
+        Scenario(
+            "serve-cluster-rmat12-bursty",
+            "rmat",
+            12,
+            "serve_cluster",
+            num_queries=400,
+            pool=256,
+            cache_size=64,
+            zipf_skew=1.0,
+            arrivals="bursty",
+            arrival_rate_qps=3000.0,
+            burst_period_ms=200.0,
+            burst_duty=0.25,
+            num_replicas=3,
+            queue_limit=48,
+            hedge_quantile=0.9,
+            hedge_min_samples=24,
+            slo_ms=10.0,
+            quick=True,
+        ),
+        Scenario(
+            "serve-cluster-rmat14-diurnal",
+            "rmat",
+            quick_scale,
+            "serve_cluster",
+            num_queries=600,
+            pool=320,
+            cache_size=96,
+            zipf_skew=1.0,
+            arrivals="diurnal",
+            arrival_rate_qps=2000.0,
+            num_replicas=4,
+            queue_limit=64,
+            hedge_quantile=0.95,
+            slo_ms=25.0,
+            cluster_updates=3,
+            update_edges=1024,
         ),
         # --- dynamic graphs: update streams + incremental maintenance ----- #
         # Headline metric: modeled (and wall) traversal time of incremental

@@ -185,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the batched service (the 'before' half of a before/after pair)",
     )
     b_run.add_argument(
+        "--cluster-no-hedge",
+        action="store_true",
+        help="run cluster serving scenarios without request hedging (the "
+        "'before' half of a tail-latency before/after pair; gated counters "
+        "stay identical because the primary timeline is hedge-independent)",
+    )
+    b_run.add_argument(
         "--dyn-recompute",
         action="store_true",
         help="time dynamic scenarios' maintained path as full recompute instead "
@@ -278,6 +285,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the sequential-service baseline replay",
+    )
+    s_bench.add_argument(
+        "--arrivals",
+        choices=["closed", "poisson", "bursty", "diurnal"],
+        default="closed",
+        help="arrival process: 'closed' replays the stream closed-loop through "
+        "one service (the default); the open-loop processes replay timed "
+        "arrivals through the replicated cluster tier on a virtual clock",
+    )
+    s_bench.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in queries/second (open-loop arrivals only; "
+        "default 500)",
+    )
+    s_bench.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="serving replicas in the cluster tier (open-loop only; default 2)",
+    )
+    s_bench.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="admission bound on in-flight requests, 0 = unbounded "
+        "(open-loop only; default 64)",
+    )
+    s_bench.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable request hedging in the cluster tier (open-loop only)",
+    )
+    s_bench.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=None,
+        help="hedge a straggler once its age passes this latency quantile "
+        "(open-loop only, needs >= 2 replicas; default 0.95)",
+    )
+    s_bench.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="latency objective in ms for the SLO-violation counter "
+        "(open-loop only; default off)",
     )
     s_bench.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -791,6 +845,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
                 f"{d['modeled_recompute_ms']:.2f} ms = {d['modeled_speedup']:.1f}x)"
             )
             return
+        if "cluster" in record:
+            c = record["cluster"]
+            lat = c["latency"]
+            print(
+                f"  {name:<28} cluster   {wall['traversal'] * 1e3:8.2f} ms wall "
+                f"({c['mode']}, {c['replicas']} replicas) "
+                f"{record['counters']['admitted']}/{record['counters']['arrivals']} admitted "
+                f"({record['counters']['shed']} shed), "
+                f"p99 {lat['p99_ms']:.2f} ms, {c['achieved_qps']:,.0f} q/s achieved"
+            )
+            return
         if "throughput" in record:
             t = record["throughput"]
             print(
@@ -819,6 +884,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         out_path=out_path,
         on_record=progress,
         serve_batched=not args.serve_sequential,
+        cluster_hedging=not args.cluster_no_hedge,
         dyn_incremental=not args.dyn_recompute,
         backend=args.backend,
     )
@@ -860,10 +926,189 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled serve command {args.serve_command!r}")  # pragma: no cover
 
 
+def _serve_bench_validate(args: argparse.Namespace) -> str | None:
+    """Reject nonsensical serve-bench knob combinations with a clear message."""
+    if args.arrivals == "closed":
+        misplaced = [
+            flag
+            for flag, is_set in (
+                ("--rate", args.rate is not None),
+                ("--replicas", args.replicas is not None),
+                ("--queue-limit", args.queue_limit is not None),
+                ("--no-hedge", args.no_hedge),
+                ("--hedge-quantile", args.hedge_quantile is not None),
+                ("--slo-ms", args.slo_ms is not None),
+            )
+            if is_set
+        ]
+        if misplaced:
+            return (
+                f"{', '.join(misplaced)} only appl"
+                f"{'ies' if len(misplaced) == 1 else 'y'} to open-loop arrivals; "
+                "pass --arrivals poisson|bursty|diurnal"
+            )
+        return None
+    if args.rate is not None and args.rate <= 0:
+        return f"arrival rate must be positive, got {args.rate}"
+    replicas = 2 if args.replicas is None else args.replicas
+    if replicas < 1:
+        return f"--replicas must be >= 1, got {replicas}"
+    if args.queue_limit is not None and args.queue_limit < 0:
+        return f"--queue-limit must be >= 0 (0 = unbounded), got {args.queue_limit}"
+    if args.hedge_quantile is not None:
+        if args.no_hedge:
+            return "--hedge-quantile contradicts --no-hedge; pick one"
+        if not 0.0 < args.hedge_quantile < 1.0:
+            return f"--hedge-quantile must be in (0, 1), got {args.hedge_quantile}"
+        if replicas < 2:
+            return (
+                "request hedging re-issues a straggler to a *second* replica; "
+                f"--hedge-quantile needs --replicas >= 2, got {replicas}"
+            )
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        return f"--slo-ms must be positive, got {args.slo_ms}"
+    return None
+
+
+def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.graph.degree import out_degrees
+    from repro.serve.cluster import (
+        ClusterConfig,
+        ClusterDispatcher,
+        OpenLoopWorkload,
+        ReplicaPool,
+        make_arrivals,
+    )
+    from repro.serve.workload import ZipfWorkload
+
+    replicas = 2 if args.replicas is None else args.replicas
+    rate = 500.0 if args.rate is None else args.rate
+    config = ClusterConfig(
+        queue_limit=64 if args.queue_limit is None else args.queue_limit,
+        hedge=not args.no_hedge and replicas >= 2,
+        hedge_quantile=0.95 if args.hedge_quantile is None else args.hedge_quantile,
+        slo_ms=args.slo_ms,
+    )
+
+    edges = _load_graph(args)
+    graph, layout, threshold = _partition(args, edges)
+    num_updates = int(round(args.update_rate * args.queries)) if args.update_rate > 0 else 0
+    workload = OpenLoopWorkload(
+        queries=ZipfWorkload(
+            num_queries=args.queries,
+            skew=args.skew,
+            pool=args.pool,
+            seed=args.seed + 2,
+            program=args.program,
+            max_hops=args.max_hops if args.program == "khop" else None,
+        ),
+        arrivals=make_arrivals(args.arrivals, rate, seed=args.seed + 4),
+        num_updates=num_updates,
+        edges_per_update=args.update_edges,
+        update_style=args.update_style,
+        update_seed=args.seed + 4,
+    )
+    stream = workload.generate(
+        edges.num_vertices,
+        degrees=out_degrees(edges),
+        edges=edges if num_updates else None,
+    )
+
+    if num_updates:
+        # Updates mutate the graph: serve a mutable view adopting the
+        # already-built partitioning, so the delta fanout path runs for real.
+        from repro.dynamic import DynamicGraph
+
+        served = DynamicGraph(edges, layout, threshold, partitioned=graph)
+    else:
+        served = graph
+    pool = ReplicaPool(
+        served,
+        replicas,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+    )
+    dispatcher = ClusterDispatcher(pool, config)
+    try:
+        backend_name = pool.backend_name
+        snap = dispatcher.run(stream)
+        replica_snapshots = [r.service.stats_snapshot() for r in pool]
+    finally:
+        pool.close()
+
+    counters, cluster = snap["counters"], snap["cluster"]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "workload": workload.describe(),
+                    "backend": backend_name,
+                    "replicas": replicas,
+                    "batch_size": args.batch_size,
+                    "cache_size": args.cache_size,
+                    "counters": counters,
+                    "cluster": cluster,
+                    "replica_snapshots": replica_snapshots,
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(
+        f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+        f"cluster {layout.notation()} | TH={threshold} | "
+        f"{replicas} replica(s) | backend {backend_name}"
+    )
+    print(
+        f"workload: {args.queries} {args.program} ops, zipf skew {args.skew}, "
+        f"{args.arrivals} arrivals at {rate:,.0f} q/s offered"
+        + (f", {num_updates} update batches" if num_updates else "")
+    )
+    lat = cluster["latency"]
+    print(
+        f"  admitted {counters['admitted']}/{counters['arrivals']} "
+        f"(shed {counters['shed']}), achieved {cluster['achieved_qps']:,.0f} q/s over "
+        f"{cluster['virtual_makespan_ms']:.1f} virtual ms"
+    )
+    print(
+        f"  latency p50 {lat['p50_ms']:.2f} ms, p95 {lat['p95_ms']:.2f} ms, "
+        f"p99 {lat['p99_ms']:.2f} ms, max {lat['max_ms']:.2f} ms"
+        + (
+            f", SLO {lat['slo_ms']:.0f} ms violated {lat['slo_violations']}x"
+            if lat["slo_ms"] is not None
+            else ""
+        )
+    )
+    if config.hedge:
+        print(
+            f"  hedging: {cluster['hedges_issued']} issued, {cluster['hedges_won']} won, "
+            f"{cluster['hedges_cancelled']} cancelled, "
+            f"{cluster['hedges_preempted']} preempted, "
+            f"{cluster['primaries_discarded']} primaries discarded"
+        )
+    if counters["updates"]:
+        print(
+            f"  updates: {counters['updates']} applied (graph version "
+            f"{counters['final_graph_version']}), "
+            f"{cluster['shed_during_update']} arrivals shed behind update drains"
+        )
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.core.engine import TraversalEngine
     from repro.graph.degree import out_degrees
     from repro.serve import MixedWorkload, QueryService, ZipfWorkload
+
+    error = _serve_bench_validate(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.arrivals != "closed":
+        return _cmd_serve_bench_cluster(args)
 
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)

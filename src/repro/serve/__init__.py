@@ -10,7 +10,11 @@ over a built graph:
   B lanes, and memoizes answers in an LRU result cache;
 * :mod:`repro.serve.cache` — the LRU cache with hit/miss/eviction counters;
 * :mod:`repro.serve.workload` — deterministic Zipf-skewed query streams
-  (:class:`ZipfWorkload`) for closed-loop load generation.
+  (:class:`ZipfWorkload`) for closed-loop load generation;
+* :mod:`repro.serve.cluster` — the sharded serving tier: N replicas behind
+  an asyncio front door replaying *open-loop* arrivals (Poisson / bursty /
+  diurnal) on a deterministic virtual clock, with admission control,
+  request hedging, and p50/p95/p99 tail-latency accounting.
 
 Typical use::
 
@@ -28,17 +32,30 @@ wall time; ``repro serve bench`` and the ``serve-*`` scenarios in
 """
 
 from repro.serve.cache import CacheStats, LRUCache, graph_token
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterDispatcher,
+    OpenLoopWorkload,
+    ReplicaPool,
+    make_arrivals,
+)
 from repro.serve.service import QueryService, ServiceStats
-from repro.serve.workload import MixedWorkload, Query, ZipfWorkload, zipf_ranks
+from repro.serve.workload import MixedWorkload, Query, ZipfWorkload, zipf_ranks, zipf_weights
 
 __all__ = [
     "CacheStats",
+    "ClusterConfig",
+    "ClusterDispatcher",
     "LRUCache",
     "MixedWorkload",
+    "OpenLoopWorkload",
     "Query",
     "QueryService",
+    "ReplicaPool",
     "ServiceStats",
     "ZipfWorkload",
     "graph_token",
+    "make_arrivals",
     "zipf_ranks",
+    "zipf_weights",
 ]

@@ -1,0 +1,52 @@
+"""The sharded serving tier: replicas, open-loop load, hedging, tail latency.
+
+``repro.serve.cluster`` scales the single :class:`repro.serve.QueryService`
+out to N replicas over one shared graph, behind an asyncio front door that
+replays *open-loop* workloads (requests arrive on a spec-pinned schedule, not
+when the previous answer returns) on a deterministic virtual clock:
+
+- :mod:`~repro.serve.cluster.virtualtime` — the virtual-clock event loop
+  that makes an asyncio simulation bit-reproducible;
+- :mod:`~repro.serve.cluster.openloop` — Poisson / bursty / diurnal arrival
+  processes time-warped from one seeded unit-rate stream, over the existing
+  Zipf query machinery;
+- :mod:`~repro.serve.cluster.replica` — the replica pool (one engine + cache
+  per replica, one shared graph, shared execution backend where safe);
+- :mod:`~repro.serve.cluster.histogram` — exact latency quantiles and SLO
+  accounting;
+- :mod:`~repro.serve.cluster.dispatcher` — admission control (bounded queue
+  with counted sheds), routing, request hedging with first-response-wins,
+  and update fanout via epoch-bump invalidation.
+"""
+
+from repro.serve.cluster.dispatcher import ClusterConfig, ClusterDispatcher, ClusterStats
+from repro.serve.cluster.histogram import LatencyHistogram
+from repro.serve.cluster.openloop import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    OpenLoopWorkload,
+    PoissonArrivals,
+    TimedQuery,
+    TimedUpdate,
+    make_arrivals,
+)
+from repro.serve.cluster.replica import Replica, ReplicaPool
+from repro.serve.cluster.virtualtime import VirtualClockEventLoop, run_on_virtual_clock
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterDispatcher",
+    "ClusterStats",
+    "LatencyHistogram",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "make_arrivals",
+    "OpenLoopWorkload",
+    "TimedQuery",
+    "TimedUpdate",
+    "Replica",
+    "ReplicaPool",
+    "VirtualClockEventLoop",
+    "run_on_virtual_clock",
+]

@@ -1,0 +1,122 @@
+"""Latency accounting for the cluster tier: exact quantiles + log buckets.
+
+Tail latency is the cluster tier's headline metric, so the accounting must be
+exact and deterministic: quantiles are computed from the full sample set (a
+few thousand per bench replay — cheap), not estimated from bucket shapes, and
+every recorded value is a *virtual-clock* latency derived from modeled
+service times, so two replays of one pinned workload produce bit-identical
+p50/p95/p99 on any machine or execution backend.
+
+The log-spaced bucket counts exist for the artifact: they give a compact,
+JSON-stable shape of the distribution that survives after the raw samples
+are gone, which is what makes committed bench artifacts reviewable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LatencyHistogram"]
+
+#: Log-bucket geometry: bucket ``i`` covers ``[BASE * GROWTH**i, ...)`` ms,
+#: with an underflow bucket below ``BASE``.  Two decades per 10 buckets.
+_BASE_MS = 0.1
+_GROWTH = 10.0 ** 0.2  # 5 buckets per decade
+
+
+class LatencyHistogram:
+    """Collects latency samples; serves exact quantiles and SLO counters.
+
+    Parameters
+    ----------
+    slo_ms:
+        Target latency: every recorded sample above it counts one SLO
+        violation.  ``None`` disables the counter (reported as 0).
+    """
+
+    def __init__(self, slo_ms: float | None = None) -> None:
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        self.slo_ms = slo_ms
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = []
+        self._total = 0.0
+        self._max = 0.0
+        self.slo_violations = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, latency_ms: float) -> None:
+        """Record one latency sample (non-negative milliseconds)."""
+        latency_ms = float(latency_ms)
+        if latency_ms < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ms}")
+        self._samples.append(latency_ms)
+        self._sorted = None
+        self._total += latency_ms
+        if latency_ms > self._max:
+            self._max = latency_ms
+        if self.slo_ms is not None and latency_ms > self.slo_ms:
+            self.slo_violations += 1
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self._total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Exact empirical quantile (nearest-rank; 0.0 when empty).
+
+        Nearest-rank keeps the result an *observed* sample, so a quantile can
+        be compared bit-exactly across replays without interpolation noise.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = self._ordered()
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def buckets(self) -> dict[str, int]:
+        """Log-spaced bucket counts keyed by each bucket's upper bound (ms)."""
+        counts: dict[str, int] = {}
+        for value in self._ordered():
+            if value < _BASE_MS:
+                exponent = 0
+            else:
+                exponent = 1 + math.floor(math.log(value / _BASE_MS, _GROWTH))
+            upper = _BASE_MS * _GROWTH ** exponent
+            key = f"<{upper:.3g}ms"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def snapshot(self) -> dict:
+        """JSON-stable summary: count/mean/max, p50/p95/p99, SLO, buckets."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean,
+            "max_ms": self.max,
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
+            "slo_ms": self.slo_ms,
+            "slo_violations": self.slo_violations,
+            "buckets": self.buckets(),
+        }

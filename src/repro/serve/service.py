@@ -75,6 +75,8 @@ class ServiceStats:
     entries_invalidated: int = 0
     #: Wall-clock seconds spent inside flushes (traversals + cache work).
     wall_s: float = 0.0
+    #: Longest single flush observed (seconds) — the closed-loop tail proxy.
+    flush_wall_max_s: float = 0.0
     #: Wall-clock seconds spent applying update deltas (mutation + repair).
     update_wall_s: float = 0.0
 
@@ -101,6 +103,7 @@ class ServiceStats:
             "epoch_bumps": self.epoch_bumps,
             "entries_invalidated": self.entries_invalidated,
             "wall_s": self.wall_s,
+            "flush_wall_max_s": self.flush_wall_max_s,
             "update_wall_s": self.update_wall_s,
             "queries_per_sec": self.queries_per_sec,
         }
@@ -225,7 +228,10 @@ class QueryService:
         results = [answers[key] for _, key in pending]
         self.stats.queries += len(pending)
         self.stats.flushes += 1
-        self.stats.wall_s += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.wall_s += elapsed
+        if elapsed > self.stats.flush_wall_max_s:
+            self.stats.flush_wall_max_s = elapsed
         return results
 
     def serve(self, queries, wave_size: int | None = None) -> list:
@@ -287,6 +293,20 @@ class QueryService:
         self.stats.entries_invalidated += self.cache.clear()
         self.stats.update_wall_s += time.perf_counter() - started
         return applied
+
+    def invalidate_epoch(self) -> int:
+        """Retire the cache epoch without applying a delta locally.
+
+        The cluster tier's update fanout path: one replica applies the delta
+        to the *shared* dynamic graph (advancing the version every replica's
+        keys embed), and every other replica calls this to purge its now
+        unmatchable entries eagerly and keep its invalidation counters
+        truthful.  Returns the number of entries purged.
+        """
+        self.stats.epoch_bumps += 1
+        dropped = self.cache.clear()
+        self.stats.entries_invalidated += dropped
+        return dropped
 
     def run_mixed(self, operations, wave_size: int | None = None) -> list:
         """Closed-loop replay of a mixed read/update stream.
@@ -365,6 +385,14 @@ class QueryService:
         mutation version (0 for frozen graphs).
         """
         snapshot = {"service": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}
+        snapshot["cache_hit_rate"] = self.cache.stats.hit_rate
+        snapshot["flush_wall"] = {
+            "count": self.stats.flushes,
+            "mean_s": (
+                self.stats.wall_s / self.stats.flushes if self.stats.flushes else 0.0
+            ),
+            "max_s": self.stats.flush_wall_max_s,
+        }
         backend = getattr(self.engine, "backend_name", None)
         if backend is not None:
             snapshot["backend"] = backend

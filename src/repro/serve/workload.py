@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.utils.rng import hash64, make_rng
 
-__all__ = ["Query", "ZipfWorkload", "MixedWorkload", "zipf_ranks"]
+__all__ = ["Query", "ZipfWorkload", "MixedWorkload", "zipf_ranks", "zipf_weights"]
 
 
 @dataclass(frozen=True)
@@ -42,19 +42,39 @@ class Query:
             raise ValueError("khop queries need max_hops >= 0")
 
 
+#: Normalised Zipf weight vectors keyed by ``(pool, skew)``.  Building one is
+#: O(pool) and the serving paths draw from the same distribution thousands of
+#: times per replay, so the vector is computed once and shared read-only.
+_zipf_weight_cache: dict[tuple[int, float], np.ndarray] = {}
+
+
+def zipf_weights(pool: int, skew: float) -> np.ndarray:
+    """The normalised weight vector ``P(r) ∝ (r + 1)^-skew`` over ``[0, pool)``.
+
+    Cached per ``(pool, skew)`` and returned read-only (callers share one
+    array; mutating it would corrupt every later draw).
+    """
+    if pool < 1:
+        raise ValueError(f"pool must be >= 1, got {pool}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    key = (int(pool), float(skew))
+    weights = _zipf_weight_cache.get(key)
+    if weights is None:
+        weights = np.power(np.arange(1, pool + 1, dtype=np.float64), -float(skew))
+        weights /= weights.sum()
+        weights.flags.writeable = False
+        _zipf_weight_cache[key] = weights
+    return weights
+
+
 def zipf_ranks(count: int, pool: int, skew: float, rng) -> np.ndarray:
     """Draw ``count`` ranks in ``[0, pool)`` with ``P(r) ∝ (r + 1)^-skew``.
 
     ``skew = 0`` is uniform; larger values concentrate mass on low ranks
     (``skew ≈ 1`` is the classic Zipf web-traffic shape).
     """
-    if pool < 1:
-        raise ValueError(f"pool must be >= 1, got {pool}")
-    if skew < 0:
-        raise ValueError(f"skew must be non-negative, got {skew}")
-    weights = np.power(np.arange(1, pool + 1, dtype=np.float64), -float(skew))
-    weights /= weights.sum()
-    return make_rng(rng).choice(pool, size=int(count), p=weights)
+    return make_rng(rng).choice(pool, size=int(count), p=zipf_weights(pool, skew))
 
 
 @dataclass(frozen=True)

@@ -250,6 +250,11 @@ class Session:
         :meth:`GraphSession.serve`."""
         return self.build().serve(*args, **kwargs)
 
+    def serve_cluster(self, *args, **kwargs):
+        """Build (if needed) and start a replicated serving tier; see
+        :meth:`GraphSession.serve_cluster`."""
+        return self.build().serve_cluster(*args, **kwargs)
+
     def bench(self, *args, **kwargs) -> dict:
         """Build (if needed) and wall-clock benchmark a program; see
         :meth:`GraphSession.bench`."""
@@ -488,6 +493,55 @@ class GraphSession:
             batched=batched,
             backend=backend,
         )
+
+    def serve_cluster(
+        self,
+        num_replicas: int = 2,
+        *,
+        batch_size: int = 32,
+        cache_size: int = 1024,
+        backend=None,
+        queue_limit: int = 64,
+        hedge: bool = True,
+        hedge_quantile: float = 0.95,
+        slo_ms: float | None = None,
+        router: str = "affinity",
+    ):
+        """A replicated serving tier over this graph: ``(pool, dispatcher)``.
+
+        Builds a :class:`repro.serve.ReplicaPool` of ``num_replicas`` query
+        services sharing this graph (and, for frozen graphs, one execution
+        backend), fronted by a :class:`repro.serve.ClusterDispatcher` that
+        replays open-loop arrival streams on a virtual clock with admission
+        control and request hedging.  The caller owns the pool: close it (or
+        use it as a context manager) when done.
+
+        >>> import repro  # doctest: +SKIP
+        >>> from repro.serve import OpenLoopWorkload
+        >>> sess = repro.session().generate(scale=12).build()
+        >>> pool, dispatcher = sess.serve_cluster(3, slo_ms=50.0)
+        >>> with pool:
+        ...     stream = OpenLoopWorkload().generate(sess.edges.num_vertices)
+        ...     snapshot = dispatcher.run(stream)
+        >>> snapshot["cluster"]["latency"]["p99_ms"]  # doctest: +SKIP
+        """
+        from repro.serve.cluster import ClusterConfig, ClusterDispatcher, ReplicaPool
+
+        pool = ReplicaPool(
+            self.graph,
+            num_replicas,
+            backend=backend,
+            batch_size=batch_size,
+            cache_size=cache_size,
+        )
+        config = ClusterConfig(
+            queue_limit=queue_limit,
+            hedge=hedge and num_replicas >= 2,
+            hedge_quantile=hedge_quantile,
+            slo_ms=slo_ms,
+            router=router,
+        )
+        return pool, ClusterDispatcher(pool, config)
 
     def bench(
         self,

@@ -13,7 +13,7 @@ from repro.cli import main
 from repro.core.engine import TraversalEngine
 from repro.core.programs import BFSLevels, KHopReachability
 from repro.partition.subgraphs import build_partitions
-from repro.serve import LRUCache, Query, QueryService, ZipfWorkload, zipf_ranks
+from repro.serve import LRUCache, Query, QueryService, ZipfWorkload, zipf_ranks, zipf_weights
 
 
 # --------------------------------------------------------------------------- #
@@ -111,6 +111,48 @@ class TestZipfWorkload:
     def test_describe_json_stable(self):
         spec = ZipfWorkload(num_queries=8, skew=0.5, pool=4, seed=2)
         assert json.loads(json.dumps(spec.describe())) == spec.describe()
+
+
+# --------------------------------------------------------------------------- #
+# Zipf weight vector: computed once per (pool, skew), bit-identical streams
+# --------------------------------------------------------------------------- #
+class TestZipfWeights:
+    def test_weights_match_direct_computation(self):
+        weights = zipf_weights(64, 1.25)
+        expected = np.power(np.arange(1, 65, dtype=np.float64), -1.25)
+        np.testing.assert_array_equal(weights, expected / expected.sum())
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_cache_returns_the_same_immutable_vector(self):
+        first = zipf_weights(48, 1.0)
+        second = zipf_weights(48, 1.0)
+        assert first is second  # the O(pool) power/normalise ran once
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 0.0
+
+    def test_streams_bit_identical_through_the_cache(self):
+        # Regression for the per-call recompute: the ranks drawn through the
+        # cached vector must be bit-identical to drawing through a freshly
+        # computed one — same rng consumption, same choice() input.
+        fresh = np.power(np.arange(1, 33, dtype=np.float64), -1.5)
+        fresh /= fresh.sum()
+        from repro.utils.rng import make_rng
+
+        expected = make_rng(9).choice(32, size=128, p=fresh)
+        np.testing.assert_array_equal(zipf_ranks(128, 32, 1.5, rng=9), expected)
+        np.testing.assert_array_equal(
+            zipf_ranks(128, 32, 1.5, rng=9), zipf_ranks(128, 32, 1.5, rng=9)
+        )
+
+    def test_uniform_skew_zero(self):
+        np.testing.assert_allclose(zipf_weights(10, 0.0), np.full(10, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="pool"):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError, match="skew"):
+            zipf_weights(4, -0.5)
 
 
 # --------------------------------------------------------------------------- #
@@ -258,6 +300,79 @@ class TestQueryService:
         result = service.query(Query("levels", 0))
         assert int(result.distances[0]) == 0
 
+    # Cache capacities at/above the source pool keep the comparison
+    # eviction-free (a coalesced duplicate refreshes LRU recency differently
+    # from a per-query cache hit); the batch_size=1 case flushes per query,
+    # so even its thrashing cache sees the identical lookup sequence.
+    @pytest.mark.parametrize("batch_size,cache_size,batched", [
+        (1, 1, True),
+        (4, 16, True),
+        (16, 64, True),
+        (4, 16, False),
+    ])
+    def test_serve_equals_per_query_loop(self, engine, rmat_small, batch_size, cache_size, batched):
+        from repro.graph.degree import out_degrees
+
+        stream = ZipfWorkload(num_queries=32, skew=1.0, pool=10, seed=9).generate(
+            rmat_small.num_vertices, degrees=out_degrees(rmat_small)
+        )
+        bulk = QueryService(
+            engine, batch_size=batch_size, cache_size=cache_size, batched=batched
+        )
+        loop = QueryService(
+            engine, batch_size=batch_size, cache_size=cache_size, batched=batched
+        )
+        bulk_results = bulk.serve(stream)
+        loop_results = [loop.query(q) for q in stream]
+        for a, b in zip(bulk_results, loop_results):
+            np.testing.assert_array_equal(a.distances, b.distances)
+        # The cache sees the same unique-miss sequence either way.
+        assert bulk.cache.stats.misses == loop.cache.stats.misses
+
+    def test_apply_delta_retains_pending_for_post_mutation_graph(
+        self, rmat_small, small_layout
+    ):
+        from repro.dynamic import DynamicEngine, DynamicGraph
+        from repro.dynamic.delta import update_stream
+
+        def fresh_service():
+            dyn = DynamicGraph(rmat_small, small_layout, 16)
+            return QueryService(DynamicEngine(dyn), batch_size=4, cache_size=8)
+
+        delta = update_stream(rmat_small, num_batches=1, edges_per_batch=64, seed=5)[0]
+        service = fresh_service()
+        tickets = [service.submit(Query("levels", s)) for s in (0, 3, 7)]
+        service.apply_delta(delta, flush_pending=False)
+        assert service.pending == 3  # retained, not flushed pre-mutation
+        results = service.flush()
+
+        # Ground truth: the same delta applied *before* any query.
+        oracle = fresh_service()
+        oracle.apply_delta(delta)
+        for ticket, source in zip(tickets, (0, 3, 7)):
+            np.testing.assert_array_equal(
+                results[ticket].distances,
+                oracle.query(Query("levels", source)).distances,
+            )
+        assert service.stats_snapshot()["graph_version"] == 1
+
+    def test_stats_snapshot_schema(self, engine):
+        service = QueryService(engine, batch_size=4, cache_size=8)
+        service.query(Query("levels", 0))
+        service.query(Query("levels", 0))  # one hit
+        snapshot = service.stats_snapshot()
+        assert snapshot["cache_hit_rate"] == pytest.approx(0.5)
+        flush_wall = snapshot["flush_wall"]
+        assert flush_wall["count"] == 2
+        assert flush_wall["max_s"] >= flush_wall["mean_s"] > 0
+        assert flush_wall["max_s"] == service.stats.flush_wall_max_s
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_flush_wall_zero_before_any_flush(self, engine):
+        snapshot = QueryService(engine, batch_size=4, cache_size=8).stats_snapshot()
+        assert snapshot["flush_wall"] == {"count": 0, "mean_s": 0.0, "max_s": 0.0}
+        assert snapshot["cache_hit_rate"] == 0.0
+
 
 # --------------------------------------------------------------------------- #
 # Serving bench scenarios
@@ -380,6 +495,91 @@ class TestCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["batched"]["service"]["queries"] == 24
         assert "sequential" not in payload
+        # Satellite schema guard: the snapshot stays machine-consumable and
+        # carries the derived cache_hit_rate and per-flush wall summary.
+        snapshot = payload["batched"]
+        assert 0.0 <= snapshot["cache_hit_rate"] <= 1.0
+        assert snapshot["flush_wall"]["count"] > 0
+        assert snapshot["flush_wall"]["max_s"] >= snapshot["flush_wall"]["mean_s"]
+
+    @pytest.mark.parametrize("argv,message", [
+        (["--rate", "100"], "only applies to open-loop"),
+        (["--replicas", "3", "--slo-ms", "20"], "open-loop"),
+        (["--arrivals", "poisson", "--rate", "-5"], "rate must be positive"),
+        (["--arrivals", "poisson", "--replicas", "0"], "--replicas must be >= 1"),
+        (["--arrivals", "bursty", "--queue-limit", "-1"], "--queue-limit must be >= 0"),
+        (
+            ["--arrivals", "poisson", "--replicas", "1", "--hedge-quantile", "0.9"],
+            "needs --replicas >= 2",
+        ),
+        (
+            ["--arrivals", "poisson", "--hedge-quantile", "1.5"],
+            "must be in \\(0, 1\\)",
+        ),
+        (
+            ["--arrivals", "poisson", "--no-hedge", "--hedge-quantile", "0.9"],
+            "contradicts --no-hedge",
+        ),
+        (["--arrivals", "diurnal", "--slo-ms", "0"], "--slo-ms must be positive"),
+    ])
+    def test_serve_bench_rejects_nonsense_knobs(self, capsys, argv, message):
+        import re
+
+        code = main(["serve", "bench", "--scale", "9", *argv])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert re.search(message, captured.err)
+        assert captured.out == ""  # nothing ran
+
+    def test_serve_bench_open_loop_json(self, capsys):
+        code = main(
+            [
+                "serve", "bench",
+                "--scale", "9",
+                "--queries", "32",
+                "--pool", "16",
+                "--batch-size", "4",
+                "--cache-size", "8",
+                "--layout", "2x1x2",
+                "--arrivals", "bursty",
+                "--rate", "4000",
+                "--replicas", "2",
+                "--queue-limit", "8",
+                "--slo-ms", "20",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["counters"]
+        assert counters["arrivals"] == 32
+        assert counters["admitted"] + counters["shed"] == 32
+        lat = payload["cluster"]["latency"]
+        assert {"p50_ms", "p95_ms", "p99_ms", "slo_violations"} <= set(lat)
+        assert lat["slo_ms"] == 20.0
+        assert payload["replicas"] == 2
+        assert len(payload["replica_snapshots"]) == 2
+        assert payload["cluster"]["config"]["queue_limit"] == 8
+
+    def test_serve_bench_open_loop_text_with_updates(self, capsys):
+        code = main(
+            [
+                "serve", "bench",
+                "--scale", "9",
+                "--queries", "32",
+                "--pool", "16",
+                "--layout", "2x1x2",
+                "--arrivals", "poisson",
+                "--rate", "2000",
+                "--update-rate", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency p50" in out
+        assert "hedging:" in out
+        assert "updates: 3 applied" in out
 
     def test_compare_fail_on_counters(self, tmp_path, capsys):
         from repro.bench import new_artifact, save_artifact
