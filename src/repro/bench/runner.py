@@ -157,6 +157,7 @@ def run_serve_scenario(
     check_determinism: bool = True,
     serve_batched: bool = True,
     backend: str | None = None,
+    kernels: str | None = None,
 ) -> dict:
     """Execute one serving scenario: replay its query stream, measure qps.
 
@@ -182,7 +183,7 @@ def run_serve_scenario(
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
     engine = TraversalEngine(
-        graph, options=spec.options, backend=backend or spec.backend
+        graph, options=spec.options, backend=backend or spec.backend, kernels=kernels
     )
 
     from repro.graph.degree import out_degrees
@@ -196,6 +197,7 @@ def run_serve_scenario(
     throughput: dict | None = None
     try:
         backend_name = engine.backend_name
+        kernels_name = engine.provider_name
         for _ in range(repeats):
             service = QueryService(
                 engine,
@@ -254,6 +256,7 @@ def run_serve_scenario(
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
+        "kernels": kernels_name,
         "threshold_used": int(threshold),
         "workload": workload.describe(),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
@@ -269,6 +272,7 @@ def run_serve_cluster_scenario(
     check_determinism: bool = True,
     cluster_hedging: bool = True,
     backend: str | None = None,
+    kernels: str | None = None,
 ) -> dict:
     """Execute one cluster scenario: replay its open-loop stream, measure tails.
 
@@ -311,6 +315,7 @@ def run_serve_cluster_scenario(
     walls: list[float] = []
     snapshot: dict | None = None
     backend_name = ""
+    kernels_name = ""
     for _ in range(repeats):
         if mutating:
             # Updates mutate the graph: every repeat serves its own mutable
@@ -325,11 +330,13 @@ def run_serve_cluster_scenario(
             spec.num_replicas,
             options=spec.options,
             backend=backend or spec.backend,
+            kernels=kernels,
             batch_size=spec.batch_size,
             cache_size=spec.cache_size,
         )
         try:
             backend_name = pool.backend_name
+            kernels_name = pool.kernels_name
             dispatcher = ClusterDispatcher(pool, config)
             with Timer() as replay_timer:
                 current = dispatcher.run(stream)
@@ -355,6 +362,7 @@ def run_serve_cluster_scenario(
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
+        "kernels": kernels_name,
         "threshold_used": int(threshold),
         "workload": workload.describe(),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
@@ -370,6 +378,7 @@ def run_dynamic_scenario(
     check_determinism: bool = True,
     dyn_incremental: bool = True,
     backend: str | None = None,
+    kernels: str | None = None,
 ) -> dict:
     """Execute one dynamic scenario: replay its update stream, measure repair.
 
@@ -405,13 +414,17 @@ def run_dynamic_scenario(
     modeled_measured = 0.0
     partition_s = float("inf")
     backend_name = ""
+    kernels_name = ""
     for _ in range(repeats):
         with Timer() as partition_timer:
             dyn = DynamicGraph(edges, layout, threshold)
         partition_s = min(partition_s, partition_timer.elapsed)
-        engine = DynamicEngine(dyn, options=spec.options, backend=backend or spec.backend)
+        engine = DynamicEngine(
+            dyn, options=spec.options, backend=backend or spec.backend, kernels=kernels
+        )
         try:
             backend_name = engine.backend_name
+            kernels_name = engine.provider_name
             if spec.maintained == "levels":
                 maintained = MaintainedLevels(engine, source)
             else:
@@ -522,6 +535,7 @@ def run_dynamic_scenario(
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
+        "kernels": kernels_name,
         "threshold_used": int(threshold),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
         "modeled_ms": {"elapsed_ms": modeled_measured},
@@ -538,6 +552,7 @@ def run_scenario(
     cluster_hedging: bool = True,
     dyn_incremental: bool = True,
     backend: str | None = None,
+    kernels: str | None = None,
 ) -> dict:
     """Execute one scenario end to end; return its artifact record.
 
@@ -565,6 +580,11 @@ def run_scenario(
         Execution backend override; ``None`` runs the scenario's own
         (``spec.backend``).  The resolved name is recorded in the record's
         ``backend`` key — never in the spec, which identifies the workload.
+    kernels:
+        Kernel-provider spec (``"numpy"``/``"numba"``/``"auto"``); ``None``
+        defers to ``$REPRO_KERNELS`` / ``auto``.  Like ``backend``, the
+        resolved provider name lands in the record's ``kernels`` key and
+        never in the spec: providers change wall-clock, not the workload.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -579,6 +599,7 @@ def run_scenario(
             check_determinism=check_determinism,
             serve_batched=serve_batched,
             backend=backend,
+            kernels=kernels,
         )
     if spec.program == "serve_cluster":
         return run_serve_cluster_scenario(
@@ -587,6 +608,7 @@ def run_scenario(
             check_determinism=check_determinism,
             cluster_hedging=cluster_hedging,
             backend=backend,
+            kernels=kernels,
         )
     if spec.program == "dynamic":
         return run_dynamic_scenario(
@@ -595,6 +617,7 @@ def run_scenario(
             check_determinism=check_determinism,
             dyn_incremental=dyn_incremental,
             backend=backend,
+            kernels=kernels,
         )
 
     with Timer() as build_timer:
@@ -608,7 +631,7 @@ def run_scenario(
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
     engine = TraversalEngine(
-        graph, options=spec.options, backend=backend or spec.backend
+        graph, options=spec.options, backend=backend or spec.backend, kernels=kernels
     )
 
     sources = spec.pick_sources(edges)
@@ -617,6 +640,7 @@ def run_scenario(
     per_source_counters: list[dict] = []
     try:
         backend_name = engine.backend_name
+        kernels_name = engine.provider_name
         for source in sources:
             timed = time_program(
                 engine,
@@ -638,6 +662,7 @@ def run_scenario(
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
+        "kernels": kernels_name,
         "sources": sources,
         "threshold_used": int(threshold),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
@@ -657,6 +682,7 @@ def run_suite(
     cluster_hedging: bool = True,
     dyn_incremental: bool = True,
     backend: str | None = None,
+    kernels: str | None = None,
 ) -> dict:
     """Run a set of scenarios and assemble (optionally write) one artifact.
 
@@ -686,6 +712,10 @@ def run_suite(
     backend:
         Execution-backend override applied to every scenario (``None`` =
         each scenario's own); recorded per record, never in the spec.
+    kernels:
+        Kernel-provider spec applied to every scenario (``None`` defers to
+        ``$REPRO_KERNELS`` / ``auto``); the resolved name is recorded per
+        record, never in the spec.
     """
     records: dict[str, dict] = {}
     for spec in specs:
@@ -696,6 +726,7 @@ def run_suite(
             cluster_hedging=cluster_hedging,
             dyn_incremental=dyn_incremental,
             backend=backend,
+            kernels=kernels,
         )
         records[spec.name] = record
         if on_record is not None:

@@ -41,9 +41,16 @@ All graph subcommands accept either ``--npz PATH`` (a previously generated
 graph) or ``--scale N`` (generate an RMAT graph on the fly); ``bfs``,
 ``components``, ``census`` and ``serve bench`` accept ``--json`` for
 machine-readable output.  The traversal-running subcommands (``bfs``,
-``components``, ``bench run``, ``serve bench``) accept ``--backend
-inline|process`` to choose where super-steps execute (default:
-``$REPRO_BACKEND`` or inline).
+``components``, ``mutate``, ``bench run``, ``serve bench``) accept
+``--backend inline|process|thread`` to choose *where* super-steps execute
+(default: ``$REPRO_BACKEND`` or inline) and ``--kernels numpy|numba|auto``
+to choose *how* the visit kernels run (default: ``$REPRO_KERNELS`` or
+``auto``, which uses Numba when importable and NumPy otherwise).  Both axes
+change wall-clock only — results, workload counters and modeled times are
+identical across every combination.  The one rejected combination is an
+explicit ``--backend process --kernels numba``: forked workers each redo
+the JIT warm-up, so the pairing is refused with exit code 2 rather than
+silently serving worst-of-both performance.
 """
 
 from __future__ import annotations
@@ -84,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(bfs)
     _add_cluster_args(bfs)
     _add_backend_arg(bfs)
+    _add_kernels_arg(bfs)
     bfs.add_argument(
         "--algorithm",
         choices=["levels", "parents"],
@@ -105,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(comp)
     _add_cluster_args(comp)
     _add_backend_arg(comp)
+    _add_kernels_arg(comp)
     comp.add_argument("--validate", action="store_true", help="check against union-find")
     comp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -119,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(mut)
     _add_cluster_args(mut)
     _add_backend_arg(mut)
+    _add_kernels_arg(mut)
     mut.add_argument(
         "--program",
         choices=["levels", "components"],
@@ -199,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         "counters stay identical because both paths always run and agree)",
     )
     from repro.exec.backend import BACKEND_NAMES
+    from repro.exec.providers import PROVIDER_NAMES
 
     b_run.add_argument(
         "--backend",
@@ -206,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="force every scenario onto this execution backend "
         "(default: each scenario's own, normally inline)",
+    )
+    b_run.add_argument(
+        "--kernels",
+        choices=list(PROVIDER_NAMES),
+        default=None,
+        help="kernel provider for every scenario; the resolved provider is "
+        "recorded per artifact record, never in the scenario spec "
+        "(default: $REPRO_KERNELS or auto)",
     )
 
     b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
@@ -242,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(s_bench)
     _add_cluster_args(s_bench)
     _add_backend_arg(s_bench)
+    _add_kernels_arg(s_bench)
     s_bench.add_argument("--queries", type=int, default=256, help="query stream length")
     s_bench.add_argument(
         "--skew", type=float, default=1.0, help="Zipf exponent of source popularity"
@@ -362,6 +382,46 @@ def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernels_arg(sub: argparse.ArgumentParser) -> None:
+    from repro.exec.providers import PROVIDER_NAMES
+
+    sub.add_argument(
+        "--kernels",
+        choices=list(PROVIDER_NAMES),
+        default=None,
+        help="kernel provider for the visit kernels; identical results, "
+        "different wall-clock (default: $REPRO_KERNELS or auto = Numba "
+        "when importable, NumPy otherwise)",
+    )
+
+
+def _exec_args_error(args: argparse.Namespace) -> str | None:
+    """Reject the one backend/provider pairing that can only hurt.
+
+    ``--backend process --kernels numba`` makes every forked worker redo the
+    Numba JIT warm-up (the on-disk cache still costs a per-process load, and
+    compiler state inherited mid-fork is not fork-safe), so the explicit
+    pairing is refused.  ``auto`` stays allowed: it resolves per process and
+    is the deliberate escape hatch for hosts where the pairing measures well.
+    """
+    if getattr(args, "backend", None) == "process" and getattr(args, "kernels", None) == "numba":
+        return (
+            "--backend process --kernels numba pays the Numba JIT warm-up in "
+            "every forked worker; use --backend thread (JIT kernels release "
+            "the GIL) or drop --kernels and let auto decide per process"
+        )
+    return None
+
+
+def _check_exec_args(args: argparse.Namespace) -> int | None:
+    """Shared exit-2 path for invalid ``--backend``/``--kernels`` combos."""
+    error = _exec_args_error(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return None
+
+
 def _load_graph(args: argparse.Namespace):
     from repro.graph.io import load_npz
     from repro.graph.rmat import generate_rmat
@@ -424,6 +484,9 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.utils.rng import random_sources
     from repro.validate.graph500 import validate_distances, validate_parent_tree
 
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
     options = BFSOptions(
@@ -432,13 +495,14 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         uniquify=args.uniquify,
         blocking_reduce=not args.nonblocking_reduce,
     )
-    engine = TraversalEngine(graph, options=options, backend=args.backend)
+    engine = TraversalEngine(graph, options=options, backend=args.backend, kernels=args.kernels)
     if not args.json:
         print(
             f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
             f"delegates {graph.num_delegates:,} | options {options.label()} | "
-            f"algorithm {args.algorithm} | backend {engine.backend_name}"
+            f"algorithm {args.algorithm} | backend {engine.backend_name} | "
+            f"kernels {engine.provider_name}"
         )
 
     if args.source is not None:
@@ -483,6 +547,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
             engine, sources, program_factory=program_factory, validate=validate, on_result=report_line
         )
         backend_name = engine.backend_name
+        kernels_name = engine.provider_name
     finally:
         engine.close()
 
@@ -494,6 +559,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
                     "options": options.label(),
                     "algorithm": args.algorithm,
                     "backend": backend_name,
+                    "kernels": kernels_name,
                     "runs": [r.summary() for r in campaign],
                     "campaign": campaign.summary(),
                     "validated": bool(args.validate),
@@ -518,12 +584,16 @@ def _cmd_components(args: argparse.Namespace) -> int:
     from repro.core.engine import TraversalEngine
     from repro.core.programs import ConnectedComponents
 
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
-    engine = TraversalEngine(graph, backend=args.backend)
+    engine = TraversalEngine(graph, backend=args.backend, kernels=args.kernels)
     try:
         result = engine.run(ConnectedComponents())
         backend_name = engine.backend_name
+        kernels_name = engine.provider_name
     finally:
         engine.close()
 
@@ -543,6 +613,7 @@ def _cmd_components(args: argparse.Namespace) -> int:
                 {
                     "graph": _graph_info(edges, layout, threshold, graph),
                     "backend": backend_name,
+                    "kernels": kernels_name,
                     "result": result.summary(),
                     "validated": validated,
                 },
@@ -554,7 +625,8 @@ def _cmd_components(args: argparse.Namespace) -> int:
     print(
         f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
         f"cluster {layout.notation()} | TH={threshold} | "
-        f"delegates {graph.num_delegates:,} | backend {backend_name}"
+        f"delegates {graph.num_delegates:,} | backend {backend_name} | "
+        f"kernels {kernels_name}"
     )
     t = result.timing
     print(
@@ -627,10 +699,13 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     from repro.partition.layout import ClusterLayout
     from repro.utils.rng import random_sources
 
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
     edges = _load_graph(args)
     layout = ClusterLayout.from_notation(args.layout)
     dynamic = DynamicGraph(edges, layout, args.threshold)
-    engine = DynamicEngine(dynamic, backend=args.backend)
+    engine = DynamicEngine(dynamic, backend=args.backend, kernels=args.kernels)
 
     if args.program == "levels":
         source = (
@@ -661,7 +736,7 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
             f"cluster {layout.notation()} | TH={dynamic.threshold} | "
             f"maintained {args.program}"
             + (f" from {source}" if source is not None else "")
-            + f" | backend {engine.backend_name}"
+            + f" | backend {engine.backend_name} | kernels {engine.provider_name}"
         )
         print(
             f"stream: {args.batches} x {args.edges_per_batch} {args.style} updates, "
@@ -773,7 +848,9 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
     if args.json:
         # The stable tooling contract: every entry carries at least
         # (name, family, program, backend) so scripts can slice the registry
-        # without parsing the text table.
+        # without parsing the text table.  Kernel providers are deliberately
+        # absent — the provider is a run-time axis (`bench run --kernels`),
+        # recorded per artifact record, never part of a scenario's identity.
         print(
             json.dumps(
                 [
@@ -802,6 +879,11 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
             f"{s.backend:<8} {th}"
         )
     print(f"{len(specs)} scenario(s)")
+    print(
+        "axes at run time: --backend inline|process|thread, "
+        "--kernels numpy|numba|auto (provider recorded per record, "
+        "not part of the scenario)"
+    )
     return 0
 
 
@@ -814,6 +896,9 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         run_suite,
     )
 
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
     if args.scenario:
         specs = find_scenarios(args.scenario)
         if args.quick:
@@ -875,6 +960,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
     if not args.json:
         forced = f", backend={args.backend}" if args.backend else ""
+        forced += f", kernels={args.kernels}" if args.kernels else ""
         print(f"running {len(specs)} scenario(s), repeats={args.repeats}{forced}")
     artifact = run_suite(
         specs,
@@ -887,6 +973,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         cluster_hedging=not args.cluster_no_hedge,
         dyn_incremental=not args.dyn_recompute,
         backend=args.backend,
+        kernels=args.kernels,
     )
     if args.json:
         print(json.dumps(artifact, indent=2))
@@ -1026,12 +1113,14 @@ def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
         served,
         replicas,
         backend=args.backend,
+        kernels=args.kernels,
         batch_size=args.batch_size,
         cache_size=args.cache_size,
     )
     dispatcher = ClusterDispatcher(pool, config)
     try:
         backend_name = pool.backend_name
+        kernels_name = pool.kernels_name
         snap = dispatcher.run(stream)
         replica_snapshots = [r.service.stats_snapshot() for r in pool]
     finally:
@@ -1045,6 +1134,7 @@ def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
                     "graph": _graph_info(edges, layout, threshold, graph),
                     "workload": workload.describe(),
                     "backend": backend_name,
+                    "kernels": kernels_name,
                     "replicas": replicas,
                     "batch_size": args.batch_size,
                     "cache_size": args.cache_size,
@@ -1060,7 +1150,7 @@ def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
     print(
         f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
         f"cluster {layout.notation()} | TH={threshold} | "
-        f"{replicas} replica(s) | backend {backend_name}"
+        f"{replicas} replica(s) | backend {backend_name} | kernels {kernels_name}"
     )
     print(
         f"workload: {args.queries} {args.program} ops, zipf skew {args.skew}, "
@@ -1103,6 +1193,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.graph.degree import out_degrees
     from repro.serve import MixedWorkload, QueryService, ZipfWorkload
 
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
     error = _serve_bench_validate(args)
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
@@ -1113,7 +1206,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     edges = _load_graph(args)
     graph, layout, threshold = _partition(args, edges)
     mixed = args.update_rate > 0
-    engine = None if mixed else TraversalEngine(graph, backend=args.backend)
+    engine = (
+        None if mixed else TraversalEngine(graph, backend=args.backend, kernels=args.kernels)
+    )
     workload = ZipfWorkload(
         num_queries=args.queries,
         skew=args.skew,
@@ -1137,12 +1232,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if not args.json:
         from repro.exec.backend import default_backend_name
+        from repro.exec.providers import resolve_provider
 
+        backend_label = (
+            engine.backend_name
+            if engine is not None
+            else (args.backend or default_backend_name())
+        )
+        kernels_label = (
+            engine.provider_name
+            if engine is not None
+            else resolve_provider(args.kernels).name
+        )
         print(
             f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
-            f"delegates {graph.num_delegates:,} | backend "
-            f"{engine.backend_name if engine is not None else (args.backend or default_backend_name())}"
+            f"delegates {graph.num_delegates:,} | backend {backend_label} | "
+            f"kernels {kernels_label}"
         )
         line = (
             f"workload: {args.queries} {args.program} ops, "
@@ -1167,6 +1273,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             replay_engine = DynamicEngine(
                 DynamicGraph(edges, layout, threshold, partitioned=graph),
                 backend=args.backend,
+                kernels=args.kernels,
             )
         else:
             replay_engine = engine
@@ -1192,6 +1299,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         backend_name = (
             engine.backend_name if engine is not None else batched.stats_snapshot()["backend"]
         )
+        if engine is not None:
+            kernels_name = engine.provider_name
+        else:
+            from repro.exec.providers import resolve_provider
+
+            kernels_name = resolve_provider(args.kernels).name
     finally:
         if engine is not None:
             engine.close()
@@ -1201,6 +1314,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "graph": _graph_info(edges, layout, threshold, graph),
             "workload": mixed_workload.describe() if mixed else workload.describe(),
             "backend": backend_name,
+            "kernels": kernels_name,
             "batch_size": args.batch_size,
             "cache_size": args.cache_size,
             "batched": batched.stats_snapshot(),

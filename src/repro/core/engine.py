@@ -65,11 +65,7 @@ from repro.cluster.hardware import HardwareSpec
 from repro.cluster.netmodel import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.core.direction import DirectionState, estimate_backward_workload
-from repro.core.kernels import (
-    KernelOutput,
-    batched_filter_frontier,
-    filter_frontier,
-)
+from repro.core.kernels import KernelOutput
 from repro.core.options import BFSOptions
 from repro.core.programs.base import FrontierProgram, VisitContext
 from repro.core.programs.batched import (
@@ -88,6 +84,7 @@ from repro.exec.plan import (
     SuperStepPlan,
     VisitSpec,
 )
+from repro.exec.providers import resolve_provider
 from repro.partition.subgraphs import PartitionedGraph
 from repro.utils.bitmask import BatchBitmask, Bitmask
 from repro.utils.timing import TimingBreakdown
@@ -159,10 +156,18 @@ class TraversalEngine:
         Ray system.
     backend:
         Where super-steps execute: an :class:`repro.exec.ExecutionBackend`
-        instance, a registry name (``"inline"`` / ``"process"``), or ``None``
-        to use the ``REPRO_BACKEND`` environment default (inline).  Named
-        backends are created lazily on first use and owned (closed) by the
-        engine; passed-in instances are shared and stay caller-owned.
+        instance, a registry name (``"inline"`` / ``"process"`` /
+        ``"thread"``), or ``None`` to use the ``REPRO_BACKEND`` environment
+        default (inline).  Named backends are created lazily on first use and
+        owned (closed) by the engine; passed-in instances are shared and stay
+        caller-owned.
+    kernels:
+        How the visit kernels compute: a
+        :class:`repro.exec.KernelProvider` instance, a provider name
+        (``"numpy"`` / ``"numba"`` / ``"auto"``), or ``None`` to use the
+        ``REPRO_KERNELS`` environment default (``auto`` — Numba when
+        importable, NumPy otherwise).  Providers are stateless and shared;
+        results and counters are provider-invariant.
 
     Examples
     --------
@@ -185,6 +190,7 @@ class TraversalEngine:
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
         backend=None,
+        kernels=None,
     ) -> None:
         self.graph = graph
         self.options = options if options is not None else BFSOptions()
@@ -194,6 +200,8 @@ class TraversalEngine:
         self._backend_spec = backend
         self._backend = None
         self._owns_backend = False
+        self._kernels_spec = kernels
+        self._provider = None
         # Cache per-GPU out-degree arrays of every subgraph; they are needed
         # for previsit filtering and forward-workload computation each
         # super-step and never change.
@@ -265,6 +273,38 @@ class TraversalEngine:
             self._backend.close()
         self._backend = None
         self._owns_backend = False
+
+    # ------------------------------------------------------------------ #
+    # Kernel provider
+    # ------------------------------------------------------------------ #
+    @property
+    def provider(self):
+        """The live kernel provider (resolved lazily on first use)."""
+        if self._provider is None:
+            self._provider = resolve_provider(self._kernels_spec)
+        return self._provider
+
+    @property
+    def provider_name(self) -> str:
+        """Resolved registry name of the kernel provider in effect.
+
+        Unlike :attr:`backend_name` this *does* resolve the spec (``auto``
+        and fallbacks only settle at resolution), but resolution is cheap —
+        providers are stateless process-wide singletons, no pools or shared
+        memory — so the read is still safe on idle engines.
+        """
+        return self.provider.name
+
+    def use_kernels(self, kernels) -> "TraversalEngine":
+        """Switch kernel providers (name, instance or ``None`` for default).
+
+        Providers are stateless singletons, so unlike :meth:`use_backend`
+        there is nothing to close — the next super-step simply plans with
+        the newly resolved provider.
+        """
+        self._kernels_spec = kernels
+        self._provider = None
+        return self
 
     def __enter__(self) -> "TraversalEngine":
         return self
@@ -728,6 +768,8 @@ class TraversalEngine:
         graph = self.graph
         p = graph.num_gpus
         d = graph.num_delegates
+        provider = self.provider
+        filter_frontier = provider.filter_frontier
         # The backward-pull candidate sets only exist for visit-once programs;
         # the options-level DO toggle is handled by the DirectionState objects
         # (disabled states always decide forward), matching the seed engine.
@@ -896,6 +938,7 @@ class TraversalEngine:
             finalize=finalize,
             wall=wall,
             delegate_flags=delegate_frontier_flags,
+            provider=provider,
         )
 
     def _finalize_super_step(
@@ -916,6 +959,7 @@ class TraversalEngine:
         """Fold kernel outputs, exchange, reduce: the serial half of a step."""
         opts = self.options
         graph = self.graph
+        provider = self.provider
         p = graph.num_gpus
         d = graph.num_delegates
 
@@ -960,9 +1004,9 @@ class TraversalEngine:
                 # Drop delegates that are already visited (their status is
                 # replicated, so this local filter needs no communication
                 # and avoids pointless mask reductions).
-                found = found[~state.delegate_visited.test_many(found)]
+                found = found[~provider.bitmask_test_many(state.delegate_visited, found)]
                 if found.size:
-                    out_mask.set_many(found)
+                    provider.bitmask_set_many(out_mask, found)
                 return
             ids = np.asarray(out.discovered, dtype=np.int64)
             src_ids, src_vals = source_info(g, kernel, out)
@@ -1188,6 +1232,8 @@ class TraversalEngine:
         p = graph.num_gpus
         d = graph.num_delegates
         nwords = full_words.size
+        provider = self.provider
+        batched_filter_frontier = provider.batched_filter_frontier
 
         rows_d = state.frontier_d_rows
         words_d = state.frontier_d_words
@@ -1358,6 +1404,7 @@ class TraversalEngine:
             finalize=finalize,
             wall=wall,
             dense_delegate=dense_d,
+            provider=provider,
         )
 
     def _finalize_batched_super_step(
@@ -1661,9 +1708,10 @@ class DistributedBFS:
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
         backend=None,
+        kernels=None,
     ) -> None:
         self.engine = TraversalEngine(
-            graph, options=options, hardware=hardware, backend=backend
+            graph, options=options, hardware=hardware, backend=backend, kernels=kernels
         )
 
     @property

@@ -427,12 +427,14 @@ class DynamicEngine:
         options=None,
         hardware=None,
         backend=None,
+        kernels=None,
         engine: TraversalEngine | None = None,
     ) -> None:
         self.dynamic = dynamic
         self._options = options
         self._hardware = hardware
         self._backend_spec = self._check_backend_spec(backend)
+        self._kernels_spec = kernels
         self._engine: TraversalEngine | None = None
         self._engine_epoch = -1
         if engine is not None:
@@ -443,6 +445,7 @@ class DynamicEngine:
             self._options = engine.options
             self._hardware = engine.hardware
             self._backend_spec = self._check_backend_spec(engine._backend_spec)
+            self._kernels_spec = engine._kernels_spec
 
     @staticmethod
     def _check_backend_spec(backend):
@@ -476,6 +479,7 @@ class DynamicEngine:
                 options=self._options,
                 hardware=self._hardware,
                 backend=self._backend_spec,
+                kernels=self._kernels_spec,
             )
             self._engine_epoch = self.dynamic.partition_epoch
         return self._engine
@@ -511,6 +515,17 @@ class DynamicEngine:
         backend = self._check_backend_spec(backend)
         self._resolve().use_backend(backend)
         self._backend_spec = backend
+        return self
+
+    @property
+    def provider_name(self) -> str:
+        return self._resolve().provider_name
+
+    def use_kernels(self, kernels) -> "DynamicEngine":
+        """Switch kernel providers (providers are stateless, so unlike
+        backends a live instance is fine — it follows compaction trivially)."""
+        self._resolve().use_kernels(kernels)
+        self._kernels_spec = kernels
         return self
 
     def close(self) -> None:

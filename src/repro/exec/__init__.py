@@ -1,27 +1,41 @@
-"""Pluggable execution backends for the traversal engine.
+"""Pluggable execution backends and kernel providers for the traversal engine.
 
 The engine (:mod:`repro.core.engine`) describes each level-synchronous
 super-step as a declarative :class:`~repro.exec.plan.SuperStepPlan` — the
 per-GPU visit-kernel tasks, then the (vertex, payload) exchange and the
-delegate reduction folded behind the plan's ``finalize`` hook — and an
-:class:`~repro.exec.backend.ExecutionBackend` decides *how* to run it:
+delegate reduction folded behind the plan's ``finalize`` hook — and two
+orthogonal axes decide how it runs:
+
+**Where** — an :class:`~repro.exec.backend.ExecutionBackend`:
 
 * :class:`~repro.exec.backend.InlineBackend` executes every kernel task in
   the calling process, reproducing the classic single-process simulator
   bit for bit (same results, same workload counters, same modeled times);
 * :class:`~repro.exec.process.ProcessBackend` executes the per-GPU kernel
   tasks in a persistent :mod:`multiprocessing` worker pool over
-  shared-memory CSR and frontier-bitmask buffers, so the per-GPU work of a
-  super-step actually runs in parallel on multi-core hosts.
+  shared-memory CSR and frontier-bitmask buffers;
+* :class:`~repro.exec.thread.ThreadBackend` executes them on a shared
+  thread pool over the coordinator's own arrays — zero IPC, zero pickling;
+  it scales on multi-core hosts when paired with a GIL-releasing provider.
 
-Modeled times and workload counters are backend-independent by
-construction (the kernels are pure functions of their inputs and all
-folding happens on the coordinating process); only the measured ``wall_s``
-phases depend on the backend.
+**How** — a :class:`~repro.exec.providers.KernelProvider`:
 
-Backends are selected by name — ``TraversalEngine(graph, backend="process")``,
+* :class:`~repro.exec.providers.NumpyProvider` is the vectorized NumPy
+  kernel suite (the historical code path, zero dependencies);
+* :class:`~repro.exec.providers.NumbaProvider` is its Numba-compiled twin
+  (``nopython, nogil, cache=True``), falling back to NumPy with a warning
+  on hosts without Numba.
+
+Modeled times and workload counters are backend- **and** provider-
+independent by construction (the kernels are pure functions of their inputs
+and all folding happens on the coordinating process); only the measured
+``wall_s`` phases depend on either axis.
+
+Backends are selected by name — ``TraversalEngine(graph, backend="thread")``,
 ``Session.backend("process")``, the ``--backend`` CLI flag — with the
-``REPRO_BACKEND`` environment variable supplying the default.
+``REPRO_BACKEND`` environment variable supplying the default; providers
+likewise via ``kernels="numba"`` / ``Session.kernels(...)`` / ``--kernels``
+and ``REPRO_KERNELS`` (default ``auto``: Numba when importable).
 """
 
 from repro.exec.backend import (
@@ -40,14 +54,35 @@ from repro.exec.plan import (
     execute_batched_gpu_plan,
     execute_gpu_plan,
 )
+from repro.exec.providers import (
+    KERNELS_ENV_VAR,
+    PROVIDER_NAMES,
+    KernelProvider,
+    NumbaProvider,
+    NumpyProvider,
+    default_kernels_name,
+    get_provider,
+    numba_available,
+    resolve_provider,
+)
 
 __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
     "InlineBackend",
     "ProcessBackend",
+    "ThreadBackend",
     "default_backend_name",
     "resolve_backend",
+    "PROVIDER_NAMES",
+    "KERNELS_ENV_VAR",
+    "KernelProvider",
+    "NumpyProvider",
+    "NumbaProvider",
+    "default_kernels_name",
+    "numba_available",
+    "get_provider",
+    "resolve_provider",
     "SuperStepPlan",
     "GPUPlan",
     "BatchedGPUPlan",
@@ -59,10 +94,15 @@ __all__ = [
 
 
 def __getattr__(name):
-    # ProcessBackend pulls in multiprocessing + shared_memory machinery;
-    # import it lazily so inline-only users never pay for it.
+    # ProcessBackend pulls in multiprocessing + shared_memory machinery and
+    # ThreadBackend a thread pool; import them lazily so inline-only users
+    # never pay for either.
     if name == "ProcessBackend":
         from repro.exec.process import ProcessBackend
 
         return ProcessBackend
+    if name == "ThreadBackend":
+        from repro.exec.thread import ThreadBackend
+
+        return ThreadBackend
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: Names accepted wherever a backend can be chosen (engine, session, CLI).
-BACKEND_NAMES = ("inline", "process")
+BACKEND_NAMES = ("inline", "process", "thread")
 
 #: Environment variable supplying the default backend name.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -110,11 +110,15 @@ class InlineBackend(ExecutionBackend):
     def _execute_kernels(self, plan: SuperStepPlan) -> list:
         if plan.batched:
             return [
-                execute_batched_gpu_plan(gp, self._resolve_csr, plan.dense_delegate)
+                execute_batched_gpu_plan(
+                    gp, self._resolve_csr, plan.dense_delegate, provider=plan.provider
+                )
                 for gp in plan.gpu_plans
             ]
         return [
-            execute_gpu_plan(gp, self._resolve_csr, plan.delegate_flags)
+            execute_gpu_plan(
+                gp, self._resolve_csr, plan.delegate_flags, provider=plan.provider
+            )
             for gp in plan.gpu_plans
         ]
 
@@ -146,6 +150,10 @@ def resolve_backend(spec, graph) -> tuple:
         from repro.exec.process import ProcessBackend
 
         return ProcessBackend(graph), True
+    if name == "thread":
+        from repro.exec.thread import ThreadBackend
+
+        return ThreadBackend(graph), True
     raise ValueError(
         f"unknown execution backend {spec!r}; expected one of {BACKEND_NAMES} "
         "or an ExecutionBackend instance"

@@ -19,9 +19,11 @@ performs the delegate reduction and returns the super-step's
 :class:`~repro.core.results.IterationRecord`.
 
 Because the visit kernels are pure functions of their spec (and the shared
-frontier flag buffers), every backend produces bit-identical kernel outputs
-— and since all folding runs on the coordinating process, results, workload
-counters and modeled times are backend-independent by construction.
+frontier flag buffers), every backend — and every
+:class:`~repro.exec.providers.KernelProvider` implementation of the kernels
+— produces bit-identical outputs; and since all folding runs on the
+coordinating process, results, workload counters and modeled times are
+backend- and provider-independent by construction.
 """
 
 from __future__ import annotations
@@ -31,12 +33,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.kernels import (
-    backward_visit,
-    batched_backward_visit,
-    batched_forward_visit,
-    forward_visit,
-)
+from repro.exec.providers import get_provider
 
 __all__ = [
     "VisitSpec",
@@ -160,6 +157,10 @@ class SuperStepPlan:
     delegate_flags: np.ndarray | None = None
     #: Batched plans: dense ``(d, nwords)`` delegate frontier lane words.
     dense_delegate: np.ndarray | None = None
+    #: The :class:`~repro.exec.providers.KernelProvider` computing the visit
+    #: kernels (``None`` = NumPy).  In-process backends use it directly;
+    #: remote backends ship its ``name`` and re-resolve in the worker.
+    provider: object | None = None
 
 
 def execute_gpu_plan(
@@ -167,24 +168,29 @@ def execute_gpu_plan(
     resolve_csr: Callable[[int, str], object],
     delegate_flags: np.ndarray | None,
     strip_sources: bool = False,
+    provider=None,
 ) -> dict:
     """Run every sequential visit task of one GPU; outputs keyed by kernel.
 
     ``resolve_csr(gpu, name)`` maps a task's subgraph reference to a CSR —
     the in-process partition for :class:`~repro.exec.backend.InlineBackend`,
     a shared-memory view inside a :class:`~repro.exec.process.ProcessBackend`
-    worker.  With ``strip_sources`` the ``sources`` arrays of tasks that
-    declared ``keep_sources=False`` are dropped (they can be as large as the
-    examined edge set, and the fold never reads them).
+    worker.  ``provider`` picks the kernel implementation
+    (:mod:`repro.exec.providers`; ``None`` = NumPy).  With ``strip_sources``
+    the ``sources`` arrays of tasks that declared ``keep_sources=False`` are
+    dropped (they can be as large as the examined edge set, and the fold
+    never reads them).
     """
+    if provider is None:
+        provider = get_provider("numpy")
     outputs: dict = {}
     for spec in gpu_plan.visits:
         csr = resolve_csr(gpu_plan.gpu, spec.csr)
         if spec.backward:
             flags = gpu_plan.normal_flags if spec.flags == "normal" else delegate_flags
-            out = backward_visit(csr, spec.candidates, flags)
+            out = provider.backward_visit(csr, spec.candidates, flags)
         else:
-            out = forward_visit(csr, spec.queue)
+            out = provider.forward_visit(csr, spec.queue)
         if strip_sources and not spec.keep_sources:
             out.sources = _EMPTY_I64
         outputs[spec.kernel] = out
@@ -195,8 +201,11 @@ def execute_batched_gpu_plan(
     gpu_plan: BatchedGPUPlan,
     resolve_csr: Callable[[int, str], object],
     dense_delegate: np.ndarray | None,
+    provider=None,
 ) -> dict:
     """Run every batched visit task of one GPU; outputs keyed by kernel."""
+    if provider is None:
+        provider = get_provider("numpy")
     outputs: dict = {}
     for spec in gpu_plan.visits:
         csr = resolve_csr(gpu_plan.gpu, spec.csr)
@@ -204,8 +213,8 @@ def execute_batched_gpu_plan(
             parents = (
                 gpu_plan.dense_normal if spec.parents == "normal" else dense_delegate
             )
-            out = batched_backward_visit(csr, spec.candidates, parents, spec.wanted)
+            out = provider.batched_backward_visit(csr, spec.candidates, parents, spec.wanted)
         else:
-            out = batched_forward_visit(csr, spec.rows, spec.words)
+            out = provider.batched_forward_visit(csr, spec.rows, spec.words)
         outputs[spec.kernel] = out
     return outputs

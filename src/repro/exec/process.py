@@ -50,6 +50,7 @@ from repro.exec.plan import (
     execute_batched_gpu_plan,
     execute_gpu_plan,
 )
+from repro.exec.providers import resolve_provider
 from repro.exec.shm import (
     SegmentCache,
     SharedGraphStore,
@@ -132,9 +133,13 @@ def _run_task(task: tuple):
         batch_descriptor,
         nwords,
         has_own_flags,
+        provider_name,
     ) = task
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else SegmentCache()
     csrs = csrs_from_descriptor(cache, graph_descriptor)
+    # Providers cross the process boundary by name; each worker resolves (and
+    # for Numba, loads the on-disk JIT cache) once via the singleton registry.
+    provider = resolve_provider(provider_name)
 
     def resolve_csr(g: int, name: str):
         return csrs[(g, name)]
@@ -144,7 +149,9 @@ def _run_task(task: tuple):
             cache, batch_descriptor, gpu, nwords
         )
         plan = BatchedGPUPlan(gpu, visits, dense_normal if has_own_flags else None)
-        return gpu, execute_batched_gpu_plan(plan, resolve_csr, dense_delegate)
+        return gpu, execute_batched_gpu_plan(
+            plan, resolve_csr, dense_delegate, provider=provider
+        )
 
     segment, num_delegates, offsets, num_locals = flags_descriptor
     delegate_flags = cache.array(segment, 0, np.bool_, (num_delegates,))
@@ -154,7 +161,9 @@ def _run_task(task: tuple):
         else None
     )
     plan = GPUPlan(gpu, visits, normal_flags)
-    return gpu, execute_gpu_plan(plan, resolve_csr, delegate_flags, strip_sources=True)
+    return gpu, execute_gpu_plan(
+        plan, resolve_csr, delegate_flags, strip_sources=True, provider=provider
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -224,6 +233,7 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             raise RuntimeError("ProcessBackend is closed")
         store = self.store
+        provider_name = plan.provider.name if plan.provider is not None else "numpy"
         tasks = []
         if plan.batched:
             nwords = int(plan.dense_delegate.shape[1])
@@ -244,6 +254,7 @@ class ProcessBackend(ExecutionBackend):
                         batch_descriptor,
                         nwords,
                         has_dense,
+                        provider_name,
                     )
                 )
         else:
@@ -263,6 +274,7 @@ class ProcessBackend(ExecutionBackend):
                         None,
                         0,
                         has_flags,
+                        provider_name,
                     )
                 )
         # chunksize=1: per-GPU work is heterogeneous (delegate-heavy GPUs do

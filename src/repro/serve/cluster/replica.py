@@ -99,9 +99,15 @@ class ReplicaPool:
         Engine configuration, identical across replicas (answers must be
         replica-independent for first-response-wins to be sound).
     backend:
-        Execution backend spec.  A name (``"inline"``/``"process"``) or
-        ``None`` works for both graph kinds; a live instance is accepted
-        only for frozen graphs (and is then shared, caller-owned).
+        Execution backend spec.  A name (``"inline"``/``"process"``/
+        ``"thread"``) or ``None`` works for both graph kinds; a live
+        instance is accepted only for frozen graphs (and is then shared,
+        caller-owned).
+    kernels:
+        Kernel provider spec (``"numpy"``/``"numba"``/``"auto"`` or a
+        :class:`~repro.exec.providers.KernelProvider`), identical across
+        replicas.  Providers are stateless, so sharing a spec is always
+        safe — it never affects answers, only kernel wall time.
     batch_size, cache_size, batched:
         Per-replica :class:`QueryService` knobs.
     cache_hit_ms:
@@ -116,6 +122,7 @@ class ReplicaPool:
         options=None,
         hardware=None,
         backend=None,
+        kernels=None,
         batch_size: int = 32,
         cache_size: int = 1024,
         batched: bool = True,
@@ -136,7 +143,13 @@ class ReplicaPool:
             # Name specs only: DynamicEngine re-resolves after compactions.
             for _ in range(num_replicas):
                 engines.append(
-                    DynamicEngine(graph, options=options, hardware=hardware, backend=backend)
+                    DynamicEngine(
+                        graph,
+                        options=options,
+                        hardware=hardware,
+                        backend=backend,
+                        kernels=kernels,
+                    )
                 )
         else:
             from repro.exec.backend import resolve_backend
@@ -146,7 +159,13 @@ class ReplicaPool:
             self._owns_backend = owns
             for _ in range(num_replicas):
                 engines.append(
-                    TraversalEngine(graph, options=options, hardware=hardware, backend=shared)
+                    TraversalEngine(
+                        graph,
+                        options=options,
+                        hardware=hardware,
+                        backend=shared,
+                        kernels=kernels,
+                    )
                 )
         self.replicas = [
             Replica(
@@ -170,6 +189,11 @@ class ReplicaPool:
     def backend_name(self) -> str:
         """Registry name of the execution backend in effect (replica 0's)."""
         return self.replicas[0].service.engine.backend_name
+
+    @property
+    def kernels_name(self) -> str:
+        """Resolved kernel-provider name in effect (replica 0's)."""
+        return self.replicas[0].service.engine.provider_name
 
     def apply_delta(self, delta):
         """Apply one update batch to the shared graph; fan out invalidation.

@@ -73,6 +73,7 @@ def session(
     options: BFSOptions | None = None,
     hardware: HardwareSpec | None = None,
     backend=None,
+    kernels=None,
 ) -> "Session":
     """Start a fluent traversal session over a virtual cluster.
 
@@ -88,11 +89,20 @@ def session(
         Performance-model hardware; defaults to the paper's Ray system.
     backend:
         Execution backend for the super-steps: ``"inline"`` (default),
-        ``"process"`` for the multiprocessing pool over shared memory, or a
-        live :class:`repro.exec.ExecutionBackend`; can also be set fluently
-        via :meth:`Session.backend`.
+        ``"process"`` for the multiprocessing pool over shared memory,
+        ``"thread"`` for the shared thread pool, or a live
+        :class:`repro.exec.ExecutionBackend`; can also be set fluently via
+        :meth:`Session.backend`.
+    kernels:
+        Kernel provider for the visit kernels: ``"numpy"``, ``"numba"``,
+        ``"auto"`` (default — Numba when importable) or a live
+        :class:`repro.exec.KernelProvider`; can also be set fluently via
+        :meth:`Session.kernels`.  Results and counters are
+        provider-invariant; only wall-clock changes.
     """
-    return Session(layout=layout, options=options, hardware=hardware, backend=backend)
+    return Session(
+        layout=layout, options=options, hardware=hardware, backend=backend, kernels=kernels
+    )
 
 
 class Session:
@@ -104,6 +114,7 @@ class Session:
         options: BFSOptions | None = None,
         hardware: HardwareSpec | None = None,
         backend=None,
+        kernels=None,
     ) -> None:
         self._layout = (
             layout if isinstance(layout, ClusterLayout) else ClusterLayout.from_notation(layout)
@@ -111,6 +122,7 @@ class Session:
         self._options = options
         self._hardware = hardware
         self._backend = backend
+        self._kernels = kernels
         self._edges: EdgeList | None = None
         self._threshold: int | _Auto = auto
         self._built: GraphSession | None = None
@@ -177,7 +189,8 @@ class Session:
         return self
 
     def backend(self, backend) -> "Session":
-        """Choose where super-steps execute (``"inline"`` / ``"process"``).
+        """Choose where super-steps execute (``"inline"`` / ``"process"`` /
+        ``"thread"``).
 
         Accepts a backend registry name, a live
         :class:`repro.exec.ExecutionBackend` instance, or ``None`` for the
@@ -190,6 +203,22 @@ class Session:
         self._backend = backend
         if self._built is not None:
             self._built.backend(backend)
+        return self
+
+    def kernels(self, kernels) -> "Session":
+        """Choose how the visit kernels compute (``"numpy"`` / ``"numba"`` /
+        ``"auto"``).
+
+        Accepts a provider name, a live :class:`repro.exec.KernelProvider`
+        instance, or ``None`` for the ``REPRO_KERNELS`` environment default.
+        An already-built graph session switches in place.
+
+        >>> import repro  # doctest: +SKIP
+        >>> repro.session().generate(scale=16).kernels("numba").bfs(0)
+        """
+        self._kernels = kernels
+        if self._built is not None:
+            self._built.kernels(kernels)
         return self
 
     # ------------------------------------------------------------------ #
@@ -212,6 +241,7 @@ class Session:
             options=self._options,
             hardware=self._hardware,
             backend=self._backend,
+            kernels=self._kernels,
         )
         self._built = GraphSession(edges=self._edges, graph=graph, engine=engine)
         return self._built
@@ -280,9 +310,10 @@ class GraphSession:
     def backend(self, backend) -> "GraphSession":
         """Switch execution backends on the live engine (partition reused).
 
-        ``backend`` is a registry name (``"inline"`` / ``"process"``), a
-        live :class:`repro.exec.ExecutionBackend`, or ``None`` for the
-        environment default; the previously engine-owned backend is closed.
+        ``backend`` is a registry name (``"inline"`` / ``"process"`` /
+        ``"thread"``), a live :class:`repro.exec.ExecutionBackend`, or
+        ``None`` for the environment default; the previously engine-owned
+        backend is closed.
         """
         self.engine.use_backend(backend)
         return self
@@ -291,6 +322,21 @@ class GraphSession:
     def backend_name(self) -> str:
         """Registry name of the execution backend in effect."""
         return self.engine.backend_name
+
+    def kernels(self, kernels) -> "GraphSession":
+        """Switch kernel providers on the live engine (nothing to rebuild).
+
+        ``kernels`` is a provider name (``"numpy"`` / ``"numba"`` /
+        ``"auto"``), a live :class:`repro.exec.KernelProvider`, or ``None``
+        for the environment default.
+        """
+        self.engine.use_kernels(kernels)
+        return self
+
+    @property
+    def kernels_name(self) -> str:
+        """Resolved registry name of the kernel provider in effect."""
+        return self.engine.provider_name
 
     def close(self) -> None:
         """Release the engine's execution backend (idempotent)."""

@@ -1,0 +1,66 @@
+"""AST mirror of the ruff pydocstyle rules the CI lint job enforces.
+
+The lint job runs ``ruff check`` with ``D100`` (missing module docstring),
+``D101`` (missing public-class docstring) and ``D104`` (missing package
+docstring) enabled over ``src/`` — but ruff is a dev-only dependency, so a
+contributor without it would first learn about a missing docstring from CI.
+This test re-implements exactly those three checks with the standard
+library, making the same failures reproducible under plain pytest.
+
+Scope mirrors ``pyproject.toml``: every module under ``src/repro`` (D100 /
+D104) and every public class defined at module level or inside a public
+class (D101).  Private modules and classes (leading underscore) are exempt,
+as are classes ruff skips (nested inside functions).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _modules() -> list[Path]:
+    return sorted(SRC.rglob("*.py"))
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _public_classes(tree: ast.Module):
+    """Yield (name, node) for classes D101 applies to: public, public parents."""
+    stack = [(tree, ())]
+    while stack:
+        node, parents = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.ClassDef):
+                continue
+            if all(_is_public(p) for p in parents) and _is_public(child.name):
+                yield ".".join(parents + (child.name,)), child
+            stack.append((child, parents + (child.name,)))
+
+
+def test_source_tree_exists():
+    assert _modules(), f"no modules found under {SRC}"
+
+
+@pytest.mark.parametrize("path", _modules(), ids=lambda p: str(p.relative_to(SRC)))
+def test_module_docstrings(path: Path):
+    """D100/D104: every module and package __init__ carries a docstring."""
+    if path.name != "__init__.py" and path.name.startswith("_"):
+        pytest.skip("private module: D100 exempts it")
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    rule = "D104" if path.name == "__init__.py" else "D100"
+    assert ast.get_docstring(tree), f"{rule}: {path.relative_to(SRC)} lacks a module docstring"
+
+
+@pytest.mark.parametrize("path", _modules(), ids=lambda p: str(p.relative_to(SRC)))
+def test_public_class_docstrings(path: Path):
+    """D101: every public class in every module carries a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing = [name for name, node in _public_classes(tree) if not ast.get_docstring(node)]
+    assert not missing, (
+        f"D101: {path.relative_to(SRC)} has undocumented public classes: {missing}"
+    )

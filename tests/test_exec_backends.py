@@ -1,12 +1,13 @@
 """Tests for the pluggable execution-backend layer (:mod:`repro.exec`).
 
-The load-bearing property is *backend equivalence*: the inline backend and
-the process-pool backend must produce bit-identical results, workload
-counters and modeled times for every program, option set and delegate
-threshold — only wall-clock may differ.  The sweep below runs the BFS
-option grid (DO on/off, BR/IR) across the delegate-threshold extremes
-(1 = almost everything is a delegate, auto, effectively-infinite = no
-delegates) over all four shipped programs plus the batched MS-BFS path.
+The load-bearing property is *backend equivalence*: the inline backend, the
+process-pool backend and the thread-pool backend must produce bit-identical
+results, workload counters and modeled times for every program, option set
+and delegate threshold — only wall-clock may differ.  The sweep below runs
+the BFS option grid (DO on/off, BR/IR) across the delegate-threshold
+extremes (1 = almost everything is a delegate, auto, effectively-infinite =
+no delegates) over all four shipped programs plus the batched MS-BFS path,
+on both non-inline backends.
 
 Also covered: backend selection (engine / session / environment / CLI),
 engine-owned backend lifecycle, and the ``run_many`` batch-routing edge
@@ -34,6 +35,7 @@ from repro.exec import (
     BACKEND_NAMES,
     InlineBackend,
     ProcessBackend,
+    ThreadBackend,
     default_backend_name,
     resolve_backend,
 )
@@ -81,6 +83,18 @@ def process_backends(graphs):
         backend.close()
 
 
+@pytest.fixture(scope="module")
+def thread_backends(graphs):
+    """One shared ThreadBackend per graph (executor is process-global anyway)."""
+    return {key: ThreadBackend(graph, workers=2) for key, graph in graphs.items()}
+
+
+@pytest.fixture(params=["process", "thread"])
+def remote_backends(request, process_backends, thread_backends):
+    """The non-inline backends, so every equivalence case covers both."""
+    return process_backends if request.param == "process" else thread_backends
+
+
 def assert_results_identical(a, b) -> None:
     """Two traversal results must match bit for bit, wall-clock excepted."""
     for attr in ("distances", "parents", "labels"):
@@ -108,7 +122,7 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("label", sorted(OPTION_GRID))
     @pytest.mark.parametrize("program_name", ["levels", "parents", "components", "khop"])
     def test_sequential_programs(
-        self, graphs, process_backends, threshold, label, program_name
+        self, graphs, remote_backends, threshold, label, program_name
     ):
         graph = graphs[threshold]
         make = {
@@ -119,13 +133,13 @@ class TestBackendEquivalence:
         }[program_name]
         options = OPTION_GRID[label]
         inline = TraversalEngine(graph, options=options)
-        process = TraversalEngine(
-            graph, options=options, backend=process_backends[threshold]
+        remote = TraversalEngine(
+            graph, options=options, backend=remote_backends[threshold]
         )
-        assert_results_identical(inline.run(make()), process.run(make()))
+        assert_results_identical(inline.run(make()), remote.run(make()))
 
     @pytest.mark.parametrize("threshold", THRESHOLDS)
-    def test_batched_sweeps(self, graphs, process_backends, threshold):
+    def test_batched_sweeps(self, graphs, remote_backends, threshold):
         graph = graphs[threshold]
         # 70 lanes forces multi-word lane bitsets through the shared-memory
         # dense scratch; the reachability batch exercises the hop cap.
@@ -135,23 +149,23 @@ class TestBackendEquivalence:
         )
         for make in factories:
             inline = TraversalEngine(graph)
-            process = TraversalEngine(graph, backend=process_backends[threshold])
+            remote = TraversalEngine(graph, backend=remote_backends[threshold])
             a = inline.run_batch(make())
-            b = process.run_batch(make())
+            b = remote.run_batch(make())
             np.testing.assert_array_equal(a.distances, b.distances)
             assert a.comm_stats.as_dict() == b.comm_stats.as_dict()
             assert a.timing.elapsed_ms == b.timing.elapsed_ms
             assert a.workload_by_kernel() == b.workload_by_kernel()
 
-    def test_run_many_with_dedup_and_batches(self, graphs, process_backends):
+    def test_run_many_with_dedup_and_batches(self, graphs, remote_backends):
         graph = graphs["auto"]
         programs = [BFSLevels(source=s) for s in [2, 7, 2, 9, 13, 7, 21]]
         inline = TraversalEngine(graph).run_many(list(programs), batch_size=4)
-        process = TraversalEngine(
-            graph, backend=process_backends["auto"]
+        remote = TraversalEngine(
+            graph, backend=remote_backends["auto"]
         ).run_many(list(programs), batch_size=4)
-        assert inline.saved_traversals == process.saved_traversals == 2
-        for a, b in zip(inline, process):
+        assert inline.saved_traversals == remote.saved_traversals == 2
+        for a, b in zip(inline, remote):
             np.testing.assert_array_equal(a.distances, b.distances)
 
     def test_option_label_axis_is_complete(self):
@@ -166,7 +180,7 @@ class TestBackendEquivalence:
 # --------------------------------------------------------------------------- #
 class TestBackendSelection:
     def test_registry_names(self):
-        assert BACKEND_NAMES == ("inline", "process")
+        assert BACKEND_NAMES == ("inline", "process", "thread")
 
     def test_default_is_inline(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
@@ -214,6 +228,25 @@ class TestBackendSelection:
     def test_process_backend_rejects_bad_workers(self, graphs):
         with pytest.raises(ValueError, match="workers"):
             ProcessBackend(graphs["auto"], workers=0)
+
+    def test_resolve_thread_backend_by_name(self, graphs):
+        backend, owned = resolve_backend("thread", graphs["auto"])
+        assert isinstance(backend, ThreadBackend) and owned
+        assert backend.name == "thread"
+
+    def test_thread_backend_survives_close(self, graphs):
+        # close() is deliberately a no-op (the executor is process-global and
+        # shared); a closed-then-reused backend must keep working.
+        backend = ThreadBackend(graphs["auto"], workers=2)
+        engine = TraversalEngine(graphs["auto"], backend=backend)
+        a = engine.run(BFSLevels(source=3))
+        engine.close()
+        b = TraversalEngine(graphs["auto"], backend=backend).run(BFSLevels(source=3))
+        assert_results_identical(a, b)
+
+    def test_thread_backend_rejects_bad_workers(self, graphs):
+        with pytest.raises(ValueError, match="workers"):
+            ThreadBackend(graphs["auto"], workers=0)
 
     def test_closed_process_backend_refuses_work(self, graphs):
         backend = ProcessBackend(graphs["auto"], workers=1)
