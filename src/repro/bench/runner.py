@@ -24,6 +24,8 @@ meaningless.
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -35,6 +37,7 @@ from repro.partition.delegates import suggest_threshold
 from repro.partition.layout import ClusterLayout
 from repro.partition.subgraphs import build_partitions
 from repro.utils.rng import hash64
+from repro.utils.rss import max_rss_mb
 from repro.utils.timing import Timer, TimingBreakdown
 
 __all__ = [
@@ -42,11 +45,26 @@ __all__ = [
     "values_checksum",
     "time_program",
     "run_scenario",
+    "run_build_scenario",
     "run_serve_scenario",
     "run_serve_cluster_scenario",
     "run_dynamic_scenario",
     "run_suite",
 ]
+
+
+def _resolve_storage(storage: str | None, spec: Scenario) -> str:
+    """The storage mode a scenario actually runs on.
+
+    Precedence mirrors the backend axis: explicit run-time override, then
+    the scenario's own pin, then the environment default.  Scenarios that
+    mutate their graph (dynamic, serve/cluster with updates) are pinned to
+    memory by their runners regardless — stores are immutable — and the
+    record's ``storage`` key always says what really ran.
+    """
+    from repro.storage import default_storage_name
+
+    return storage or spec.storage or default_storage_name()
 
 
 class BenchDeterminismError(AssertionError):
@@ -158,6 +176,7 @@ def run_serve_scenario(
     serve_batched: bool = True,
     backend: str | None = None,
     kernels: str | None = None,
+    storage: str | None = None,
 ) -> dict:
     """Execute one serving scenario: replay its query stream, measure qps.
 
@@ -168,12 +187,15 @@ def run_serve_scenario(
     answer — are deterministic and, by construction, identical whether the
     service batches or runs sequentially (``serve_batched=False``) and
     whichever execution backend runs the sweeps, which is what makes
-    before/after artifact pairs cleanly comparable.
+    before/after artifact pairs cleanly comparable.  Registry serving
+    scenarios never mutate their graph, so the storage axis applies to the
+    served adjacency exactly as it does to plain traversals.
     """
     from repro.serve.service import QueryService
 
     with Timer() as build_timer:
         edges = spec.build_edges()
+    rss = {"graph_build": max_rss_mb()}
     layout = ClusterLayout.from_notation(spec.layout)
     threshold = (
         spec.threshold
@@ -182,6 +204,19 @@ def run_serve_scenario(
     )
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
+    rss["partition"] = max_rss_mb()
+
+    effective_storage = _resolve_storage(storage, spec)
+    store_dir: tempfile.TemporaryDirectory | None = None
+    storage_wall = 0.0
+    if effective_storage != "memory":
+        from repro.storage import apply_storage
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        with Timer() as storage_timer:
+            graph = apply_storage(graph, effective_storage, path=store_dir.name)
+        storage_wall = storage_timer.elapsed
+
     engine = TraversalEngine(
         graph, options=spec.options, backend=backend or spec.backend, kernels=kernels
     )
@@ -241,6 +276,9 @@ def run_serve_scenario(
             walls.append(service.stats.wall_s)
     finally:
         engine.close()
+        if store_dir is not None:
+            store_dir.cleanup()
+    rss["traversal"] = max_rss_mb()
 
     serve_wall = min(walls)
     throughput["queries_per_sec"] = (
@@ -250,19 +288,23 @@ def run_serve_scenario(
         "graph_build": build_timer.elapsed,
         "partition": partition_timer.elapsed,
         "traversal": serve_wall,
-        "total": build_timer.elapsed + partition_timer.elapsed + serve_wall,
+        "total": build_timer.elapsed + partition_timer.elapsed + storage_wall + serve_wall,
     }
+    if effective_storage != "memory":
+        wall["storage"] = storage_wall
     return {
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
         "kernels": kernels_name,
+        "storage": effective_storage,
         "threshold_used": int(threshold),
         "workload": workload.describe(),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
         "modeled_ms": {"elapsed_ms": modeled_ms},
         "counters": counters,
         "throughput": throughput,
+        "max_rss_mb": {k: float(v) for k, v in sorted(rss.items())},
     }
 
 
@@ -273,6 +315,7 @@ def run_serve_cluster_scenario(
     cluster_hedging: bool = True,
     backend: str | None = None,
     kernels: str | None = None,
+    storage: str | None = None,
 ) -> dict:
     """Execute one cluster scenario: replay its open-loop stream, measure tails.
 
@@ -294,6 +337,7 @@ def run_serve_cluster_scenario(
 
     with Timer() as build_timer:
         edges = spec.build_edges()
+    rss = {"graph_build": max_rss_mb()}
     layout = ClusterLayout.from_notation(spec.layout)
     threshold = (
         spec.threshold
@@ -302,9 +346,23 @@ def run_serve_cluster_scenario(
     )
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
+    rss["partition"] = max_rss_mb()
 
     workload = spec.workload()
     mutating = spec.cluster_updates > 0
+
+    # Update-replaying clusters mutate their served graphs; stores are
+    # immutable, so such scenarios pin memory and record that truthfully.
+    effective_storage = "memory" if mutating else _resolve_storage(storage, spec)
+    store_dir: tempfile.TemporaryDirectory | None = None
+    storage_wall = 0.0
+    if effective_storage != "memory":
+        from repro.storage import apply_storage
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        with Timer() as storage_timer:
+            graph = apply_storage(graph, effective_storage, path=store_dir.name)
+        storage_wall = storage_timer.elapsed
     stream = workload.generate(
         edges.num_vertices,
         degrees=out_degrees(edges),
@@ -350,25 +408,32 @@ def run_serve_cluster_scenario(
                 f"{snapshot} vs {current}"
             )
         walls.append(replay_timer.elapsed)
+    if store_dir is not None:
+        store_dir.cleanup()
+    rss["traversal"] = max_rss_mb()
 
     replay_wall = min(walls)
     wall = {
         "graph_build": build_timer.elapsed,
         "partition": partition_timer.elapsed,
         "traversal": replay_wall,
-        "total": build_timer.elapsed + partition_timer.elapsed + replay_wall,
+        "total": build_timer.elapsed + partition_timer.elapsed + storage_wall + replay_wall,
     }
+    if effective_storage != "memory":
+        wall["storage"] = storage_wall
     return {
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
         "kernels": kernels_name,
+        "storage": effective_storage,
         "threshold_used": int(threshold),
         "workload": workload.describe(),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
         "modeled_ms": {"elapsed_ms": snapshot["cluster"]["virtual_makespan_ms"]},
         "counters": snapshot["counters"],
         "cluster": snapshot["cluster"],
+        "max_rss_mb": {k: float(v) for k, v in sorted(rss.items())},
     }
 
 
@@ -536,11 +601,15 @@ def run_dynamic_scenario(
         "repeats": repeats,
         "backend": backend_name,
         "kernels": kernels_name,
+        # Dynamic scenarios mutate their graph; stores are immutable, so the
+        # storage axis is pinned to memory regardless of any override.
+        "storage": "memory",
         "threshold_used": int(threshold),
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
         "modeled_ms": {"elapsed_ms": modeled_measured},
         "counters": counters,
         "dynamic": dynamic_section,
+        "max_rss_mb": {"traversal": max_rss_mb()},
     }
 
 
@@ -553,6 +622,7 @@ def run_scenario(
     dyn_incremental: bool = True,
     backend: str | None = None,
     kernels: str | None = None,
+    storage: str | None = None,
 ) -> dict:
     """Execute one scenario end to end; return its artifact record.
 
@@ -585,6 +655,12 @@ def run_scenario(
         defers to ``$REPRO_KERNELS`` / ``auto``.  Like ``backend``, the
         resolved provider name lands in the record's ``kernels`` key and
         never in the spec: providers change wall-clock, not the workload.
+    storage:
+        Adjacency-storage override (``"memory"``/``"mmap"``/``"compressed"``);
+        ``None`` defers to the scenario's pin or ``$REPRO_STORAGE``.  A third
+        record-level axis: the storage that actually ran lands in the
+        record's ``storage`` key, never in the spec.  Mutating scenarios
+        (dynamic, serve/cluster with updates) pin memory and record that.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -600,6 +676,7 @@ def run_scenario(
             serve_batched=serve_batched,
             backend=backend,
             kernels=kernels,
+            storage=storage,
         )
     if spec.program == "serve_cluster":
         return run_serve_cluster_scenario(
@@ -609,6 +686,7 @@ def run_scenario(
             cluster_hedging=cluster_hedging,
             backend=backend,
             kernels=kernels,
+            storage=storage,
         )
     if spec.program == "dynamic":
         return run_dynamic_scenario(
@@ -619,9 +697,19 @@ def run_scenario(
             backend=backend,
             kernels=kernels,
         )
+    if spec.program == "build":
+        return run_build_scenario(
+            spec,
+            repeats=repeats,
+            check_determinism=check_determinism,
+            backend=backend,
+            kernels=kernels,
+            storage=storage,
+        )
 
     with Timer() as build_timer:
         edges = spec.build_edges()
+    rss = {"graph_build": max_rss_mb()}
     layout = ClusterLayout.from_notation(spec.layout)
     threshold = (
         spec.threshold
@@ -630,6 +718,20 @@ def run_scenario(
     )
     with Timer() as partition_timer:
         graph = build_partitions(edges, layout, threshold)
+    rss["partition"] = max_rss_mb()
+
+    effective_storage = _resolve_storage(storage, spec)
+    store_dir: tempfile.TemporaryDirectory | None = None
+    storage_wall = 0.0
+    if effective_storage != "memory":
+        from repro.storage import apply_storage
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        with Timer() as storage_timer:
+            graph = apply_storage(graph, effective_storage, path=store_dir.name)
+        storage_wall = storage_timer.elapsed
+        rss["storage"] = max_rss_mb()
+
     engine = TraversalEngine(
         graph, options=spec.options, backend=backend or spec.backend, kernels=kernels
     )
@@ -654,7 +756,122 @@ def run_scenario(
             per_source_counters.append(timed["counters"])
     finally:
         engine.close()
+        if store_dir is not None:
+            # Unlinking open-mmapped segments is safe on POSIX; cached
+            # handles keep their (now anonymous) pages until process exit.
+            store_dir.cleanup()
+    rss["traversal"] = max_rss_mb()
 
+    wall["graph_build"] = build_timer.elapsed
+    wall["partition"] = partition_timer.elapsed
+    if effective_storage != "memory":
+        wall["storage"] = storage_wall
+    wall["total"] = (
+        build_timer.elapsed + partition_timer.elapsed + storage_wall + wall["traversal"]
+    )
+    return {
+        "spec": spec.describe(),
+        "repeats": repeats,
+        "backend": backend_name,
+        "kernels": kernels_name,
+        "storage": effective_storage,
+        "sources": sources,
+        "threshold_used": int(threshold),
+        "wall_s": {k: float(v) for k, v in sorted(wall.items())},
+        "modeled_ms": modeled.as_dict(),
+        "counters": _merge_counters(per_source_counters),
+        "max_rss_mb": {k: float(v) for k, v in sorted(rss.items())},
+    }
+
+
+def run_build_scenario(
+    spec: Scenario,
+    repeats: int = 2,
+    check_determinism: bool = True,
+    backend: str | None = None,
+    kernels: str | None = None,
+    storage: str | None = None,
+) -> dict:
+    """Execute one out-of-core build scenario; gate on the build wall.
+
+    The gated phase is ``graph_build`` — the streamed external-memory
+    pipeline (ingest/merge/threshold/distribute/assemble), whose per-pass
+    walls land as ``build_*`` sub-phases — declared to the comparator via
+    the record's ``gate_phase`` key, because the build *is* this scenario's
+    workload.  The build runs once: it is deterministic and IO-dominated,
+    where repeat minima would reward page-cache warmth, not the pipeline.
+    ``partition`` is the store attach (mmap open), and a short BFS from the
+    scenario's sources then proves the store actually serves answers — its
+    counters feed the cross-storage equivalence gate.  ``memory`` is not a
+    store flavour, so a memory resolution coerces to ``mmap``.
+    """
+    from repro.core.programs import BFSLevels
+    from repro.storage import load_graph_store
+    from repro.storage.extsort import external_build
+    from repro.utils.rng import random_sources
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    effective_storage = _resolve_storage(storage, spec)
+    if effective_storage == "memory":
+        effective_storage = "mmap"
+    layout = ClusterLayout.from_notation(spec.layout)
+
+    store_dir = tempfile.TemporaryDirectory(prefix="repro-bench-build-")
+    rss: dict[str, float] = {}
+    try:
+        with Timer() as build_timer:
+            store_path, report = external_build(
+                spec.edge_chunks(),
+                1 << spec.scale,
+                layout,
+                Path(store_dir.name) / "store",
+                threshold=spec.threshold,
+                storage=effective_storage,
+                block_edges=spec.block_edges,
+            )
+        rss["graph_build"] = max_rss_mb()
+        with Timer() as partition_timer:
+            graph = load_graph_store(store_path)
+        rss["partition"] = max_rss_mb()
+
+        engine = TraversalEngine(
+            graph, options=spec.options, backend=backend or spec.backend, kernels=kernels
+        )
+        sources = [
+            int(s)
+            for s in random_sources(
+                graph.num_vertices,
+                spec.sources,
+                rng=spec.seed + 1,
+                degrees=graph.separation.degrees,
+            )
+        ]
+        wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0, "traversal": 0.0}
+        modeled = TimingBreakdown()
+        per_source_counters: list[dict] = []
+        try:
+            backend_name = engine.backend_name
+            kernels_name = engine.provider_name
+            for source in sources:
+                timed = time_program(
+                    engine,
+                    lambda: BFSLevels(source=source),
+                    repeats=repeats,
+                    check_determinism=check_determinism,
+                )
+                for phase, seconds in timed["wall_s"].items():
+                    wall[phase] = wall.get(phase, 0.0) + seconds
+                modeled = modeled + TimingBreakdown(**timed["modeled_ms"])
+                per_source_counters.append(timed["counters"])
+        finally:
+            engine.close()
+        rss["traversal"] = max_rss_mb()
+    finally:
+        store_dir.cleanup()
+
+    for pass_name, seconds in report["walls"].items():
+        wall[f"build_{pass_name}"] = float(seconds)
     wall["graph_build"] = build_timer.elapsed
     wall["partition"] = partition_timer.elapsed
     wall["total"] = build_timer.elapsed + partition_timer.elapsed + wall["traversal"]
@@ -663,11 +880,21 @@ def run_scenario(
         "repeats": repeats,
         "backend": backend_name,
         "kernels": kernels_name,
+        "storage": effective_storage,
+        "gate_phase": "graph_build",
         "sources": sources,
-        "threshold_used": int(threshold),
+        "threshold_used": int(report["threshold"]),
+        "build": {
+            "num_chunks": int(report["num_chunks"]),
+            "num_runs": int(report["num_runs"]),
+            "num_directed_edges": int(report["num_directed_edges"]),
+            "num_delegates": int(report["num_delegates"]),
+            "block_edges": int(report["block_edges"]),
+        },
         "wall_s": {k: float(v) for k, v in sorted(wall.items())},
         "modeled_ms": modeled.as_dict(),
         "counters": _merge_counters(per_source_counters),
+        "max_rss_mb": {k: float(v) for k, v in sorted(rss.items())},
     }
 
 
@@ -683,6 +910,7 @@ def run_suite(
     dyn_incremental: bool = True,
     backend: str | None = None,
     kernels: str | None = None,
+    storage: str | None = None,
 ) -> dict:
     """Run a set of scenarios and assemble (optionally write) one artifact.
 
@@ -716,6 +944,11 @@ def run_suite(
         Kernel-provider spec applied to every scenario (``None`` defers to
         ``$REPRO_KERNELS`` / ``auto``); the resolved name is recorded per
         record, never in the spec.
+    storage:
+        Adjacency-storage override applied to every scenario (``None``
+        defers to each scenario's pin / ``$REPRO_STORAGE``); the storage
+        that actually ran is recorded per record, never in the spec.
+        Mutating scenarios pin memory regardless.
     """
     records: dict[str, dict] = {}
     for spec in specs:
@@ -727,6 +960,7 @@ def run_suite(
             dyn_incremental=dyn_incremental,
             backend=backend,
             kernels=kernels,
+            storage=storage,
         )
         records[spec.name] = record
         if on_record is not None:

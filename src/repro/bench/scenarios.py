@@ -49,6 +49,16 @@ answer checksum — are independent of whether request hedging is enabled
 before/after pair) and of the execution backend, because the virtual
 timeline is driven purely by modeled service times.
 
+Since the storage subsystem (:mod:`repro.storage`) landed, scenarios also
+carry a **storage** axis (``memory`` / ``mmap`` / ``compressed``), handled
+exactly like the backend axis: not part of the spec (counters are
+storage-invariant), recorded per artifact record, overridable with ``repro
+bench run --storage``.  **Build** scenarios (``program="build"``) measure
+the out-of-core pipeline itself: a chunked generator streams bounded edge
+chunks through the external sort/merge into an on-disk store, the build
+wall is the gated phase (``gate_phase = "graph_build"``), and a traversal
+over the loaded store verifies it.
+
 **Dynamic** scenarios (``program="dynamic"``, the ``dyn-*`` names) replay a
 pinned :func:`repro.dynamic.update_stream` against a mutable graph while a
 maintained answer (BFS levels or connected components) is repaired
@@ -85,8 +95,20 @@ __all__ = ["Scenario", "REGISTRY", "registry", "quick_scenarios", "find_scenario
 #: ``serve`` scenarios replay a query stream through the serving layer;
 #: ``serve_cluster`` scenarios replay a timed open-loop stream through the
 #: replicated cluster tier on a virtual clock; ``dynamic`` scenarios replay
-#: an update stream with incremental maintenance.
-PROGRAMS = ("levels", "parents", "components", "khop", "serve", "serve_cluster", "dynamic")
+#: an update stream with incremental maintenance; ``build`` scenarios stream
+#: edge chunks through the out-of-core build (:mod:`repro.storage`) — their
+#: gated phase is the build wall itself, and the traversal they also run is
+#: the correctness verification.
+PROGRAMS = (
+    "levels",
+    "parents",
+    "components",
+    "khop",
+    "serve",
+    "serve_cluster",
+    "dynamic",
+    "build",
+)
 
 
 @dataclass(frozen=True)
@@ -121,6 +143,16 @@ class Scenario:
     #: comparable (the comparator flags any drift as a correctness finding).
     #: The resolved backend is recorded at the artifact-record level instead.
     backend: str = "inline"
+    #: Adjacency storage the scenario runs on (``memory``, ``mmap`` or
+    #: ``compressed``); ``None`` defers to the run-time default
+    #: (``bench run --storage`` / ``$REPRO_STORAGE`` / memory).  Like
+    #: ``backend`` this is *not* part of :meth:`describe` — counters are
+    #: storage-invariant by construction, so a memory artifact and an
+    #: mmap/compressed artifact of the same scenarios must compare cleanly;
+    #: the storage that actually ran is recorded per artifact record.
+    #: Scenarios that mutate their graph (dynamic, serve with updates) pin
+    #: memory regardless, because stores are immutable.
+    storage: str | None = None
     # --- serving scenarios only (program == "serve") ------------------- #
     #: Lanes per fused MS-BFS sweep.
     batch_size: int = 32
@@ -169,6 +201,14 @@ class Scenario:
     update_edges: int = 2048
     #: Share of each batch that deletes existing edges.
     delete_fraction: float = 0.0
+    # --- build scenarios only (program == "build") --------------------- #
+    #: Edges per generator chunk.  Spec identity for build scenarios: the
+    #: chunked generators draw per chunk, so a different chunking is a
+    #: different (equally valid) graph.
+    chunk_edges: int = 1 << 20
+    #: Edges per external-sort block (bounds build memory; not identity —
+    #: the built store is block-size-invariant).
+    block_edges: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.program not in PROGRAMS:
@@ -209,10 +249,25 @@ class Scenario:
                 raise ValueError(
                     f"update_batches must be >= 1, got {self.update_batches}"
                 )
+        if self.program == "build":
+            if self.kind not in ("rmat", "wdc"):
+                raise ValueError(
+                    "build scenarios stream a chunked generator; only 'rmat' "
+                    f"and 'wdc' have one, got {self.kind!r}"
+                )
+            if self.chunk_edges < 1 or self.block_edges < 1:
+                raise ValueError("chunk_edges and block_edges must be >= 1")
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
+        if self.storage is not None:
+            from repro.storage import STORAGE_NAMES
+
+            if self.storage not in STORAGE_NAMES:
+                raise ValueError(
+                    f"unknown storage {self.storage!r}; expected one of {STORAGE_NAMES}"
+                )
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -231,6 +286,27 @@ class Scenario:
         from repro.graph.generators import wdc_like
 
         return wdc_like(num_vertices=1 << self.scale, rng=self.seed).prepared()
+
+    def edge_chunks(self):
+        """The bounded edge-chunk stream of a build scenario (raw, unprepared).
+
+        Peak memory is O(``chunk_edges``); the out-of-core build pipeline
+        applies the same preparation (hash relabel, loop removal, edge
+        doubling, dedup) the in-memory generators do.
+        """
+        if self.program != "build":
+            raise ValueError(f"scenario {self.name!r} is not a build scenario")
+        if self.kind == "rmat":
+            from repro.graph.rmat import generate_rmat_edge_chunks
+
+            return generate_rmat_edge_chunks(
+                self.scale, seed=self.seed, chunk_edges=self.chunk_edges
+            )
+        from repro.graph.generators import wdc_like_edge_chunks
+
+        return wdc_like_edge_chunks(
+            num_vertices=1 << self.scale, seed=self.seed, chunk_edges=self.chunk_edges
+        )
 
     def pick_sources(self, edges: EdgeList) -> list[int]:
         """Draw the scenario's traversal sources (degree-filtered, seeded)."""
@@ -379,6 +455,11 @@ class Scenario:
                     "delete_fraction": self.delete_fraction,
                 }
             )
+        if self.program == "build":
+            # chunk_edges is identity (a different chunking draws a different
+            # graph); block_edges is not (the store is block-size-invariant)
+            # and storage is a run-time axis, so neither appears here.
+            base["chunk_edges"] = self.chunk_edges
         return base
 
 
@@ -586,6 +667,34 @@ def _build_registry() -> tuple[Scenario, ...]:
             "levels",
             sources=4,
             backend="process",
+        ),
+        # --- storage axis: same workload on a memory-mapped store ---------- #
+        # Identical spec (and therefore counters) to rmat17-levels-do-br;
+        # the adjacency lives in mmap-backed store segments instead of the
+        # process heap, so only wall-clock and resident memory differ.
+        Scenario(
+            "rmat17-levels-do-br-mmap",
+            "rmat",
+            17,
+            "levels",
+            sources=4,
+            storage="mmap",
+        ),
+        # --- out-of-core build: a graph ~4x larger than any other scenario - #
+        # The gated phase is the streaming build itself (gate_phase =
+        # "graph_build" in the record); edge generation, sorting, threshold
+        # selection and CSR assembly all run in bounded blocks, so the build
+        # works under a memory cap smaller than the graph (the CI leg runs
+        # it under ulimit -v).  The traversal afterwards verifies the store.
+        Scenario(
+            "build-rmat19-stream",
+            "rmat",
+            19,
+            "build",
+            sources=2,
+            storage="mmap",
+            chunk_edges=1 << 20,
+            block_edges=1 << 20,
         ),
     ]
     names = [s.name for s in scenarios]

@@ -6,6 +6,12 @@ downstream user needs without writing Python:
 ``python -m repro.cli generate``
     Generate a prepared Graph500 RMAT graph (or a synthetic Friendster/WDC
     substitute) and save it as an ``.npz`` edge list.
+``python -m repro.cli build``
+    Build an on-disk graph store *out of core*: edges are streamed in bounded
+    chunks through the external-memory sort/merge pipeline
+    (:mod:`repro.storage`) into a memory-mapped (or compressed) CSR store,
+    so peak memory never holds the whole edge list.  The store is loaded
+    back with ``--store`` on ``bfs``/``components``.
 ``python -m repro.cli bfs``
     Partition a graph over a virtual cluster and run (DO)BFS from one or more
     sources — hop levels by default, Graph500-style parent trees with
@@ -51,6 +57,13 @@ identical across every combination.  The one rejected combination is an
 explicit ``--backend process --kernels numba``: forked workers each redo
 the JIT warm-up, so the pairing is refused with exit code 2 rather than
 silently serving worst-of-both performance.
+
+``bfs``, ``components`` and ``bench run`` also accept ``--storage
+memory|mmap|compressed`` (default: ``$REPRO_STORAGE`` or memory), a third
+run-time axis choosing *where the adjacency lives* — process heap,
+memory-mapped store segments, or delta+varint compressed segments.  Like
+backend and kernels it changes wall-clock and memory only; counters and
+results are bit-identical.
 """
 
 from __future__ import annotations
@@ -87,11 +100,57 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=11)
     gen.add_argument("--output", type=Path, required=True)
 
+    build = sub.add_parser(
+        "build", help="stream edges through the out-of-core pipeline into a graph store"
+    )
+    build_graph = build.add_mutually_exclusive_group()
+    build_graph.add_argument(
+        "--npz", type=Path, help="edge list saved by `repro generate` (re-chunked)"
+    )
+    build_graph.add_argument(
+        "--binary", type=Path, help="raw binary edge list (streamed, never fully loaded)"
+    )
+    build_graph.add_argument(
+        "--scale", type=int, default=19, help="RMAT scale to stream-generate (default)"
+    )
+    build.add_argument(
+        "--kind",
+        choices=["rmat", "wdc"],
+        default="rmat",
+        help="generator for --scale builds (chunked RMAT or chunked WDC-like)",
+    )
+    build.add_argument("--seed", type=int, default=11)
+    _add_cluster_args(build)
+    build.add_argument(
+        "--storage",
+        choices=["mmap", "compressed"],
+        default="mmap",
+        help="on-disk CSR layout: raw memory-mapped or delta+varint compressed",
+    )
+    build.add_argument("--out", type=Path, required=True, help="store directory to create")
+    build.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 20,
+        help="edges per generator chunk (bounds generation memory)",
+    )
+    build.add_argument(
+        "--block-edges",
+        type=int,
+        default=1 << 20,
+        help="edges per sort/merge block (bounds build memory)",
+    )
+    build.add_argument(
+        "--keep-scratch", action="store_true", help="keep the intermediate run/bucket files"
+    )
+    build.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     bfs = sub.add_parser("bfs", help="partition a graph and run (DO)BFS")
-    _add_graph_args(bfs)
+    _add_graph_args(bfs, store=True)
     _add_cluster_args(bfs)
     _add_backend_arg(bfs)
     _add_kernels_arg(bfs)
+    _add_storage_arg(bfs)
     bfs.add_argument(
         "--algorithm",
         choices=["levels", "parents"],
@@ -110,10 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser(
         "components", help="distributed connected components (label propagation)"
     )
-    _add_graph_args(comp)
+    _add_graph_args(comp, store=True)
     _add_cluster_args(comp)
     _add_backend_arg(comp)
     _add_kernels_arg(comp)
+    _add_storage_arg(comp)
     comp.add_argument("--validate", action="store_true", help="check against union-find")
     comp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -226,10 +286,28 @@ def build_parser() -> argparse.ArgumentParser:
         "recorded per artifact record, never in the scenario spec "
         "(default: $REPRO_KERNELS or auto)",
     )
+    from repro.storage import STORAGE_NAMES
+
+    b_run.add_argument(
+        "--storage",
+        choices=list(STORAGE_NAMES),
+        default=None,
+        help="adjacency storage for every scenario; like --kernels this is a "
+        "run-time axis recorded per artifact record, never in the scenario "
+        "spec (default: $REPRO_STORAGE or memory; dynamic/serve-with-update "
+        "scenarios pin memory and record what actually ran)",
+    )
 
     b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
-    b_cmp.add_argument("old", type=Path, help="baseline artifact")
-    b_cmp.add_argument("new", type=Path, help="candidate artifact")
+    b_cmp.add_argument(
+        "old",
+        help="baseline artifact: a path, a glob (newest match wins), "
+        "'latest' or 'latest~N' over ./BENCH_*.json",
+    )
+    b_cmp.add_argument(
+        "new",
+        help="candidate artifact: same selector syntax as the baseline",
+    )
     b_cmp.add_argument(
         "--tolerance",
         type=float,
@@ -358,10 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_graph_args(sub: argparse.ArgumentParser) -> None:
+def _add_graph_args(sub: argparse.ArgumentParser, store: bool = False) -> None:
     group = sub.add_mutually_exclusive_group()
     group.add_argument("--npz", type=Path, help="edge list saved by `repro generate`")
     group.add_argument("--scale", type=int, default=14, help="RMAT scale to generate on the fly")
+    if store:
+        group.add_argument(
+            "--store", type=Path, help="graph store directory built by `repro build`"
+        )
     sub.add_argument("--seed", type=int, default=11)
 
 
@@ -392,6 +474,19 @@ def _add_kernels_arg(sub: argparse.ArgumentParser) -> None:
         help="kernel provider for the visit kernels; identical results, "
         "different wall-clock (default: $REPRO_KERNELS or auto = Numba "
         "when importable, NumPy otherwise)",
+    )
+
+
+def _add_storage_arg(sub: argparse.ArgumentParser) -> None:
+    from repro.storage import STORAGE_NAMES
+
+    sub.add_argument(
+        "--storage",
+        choices=list(STORAGE_NAMES),
+        default=None,
+        help="adjacency storage: in-memory arrays, a memory-mapped store, or "
+        "a compressed store with lazy row decode; identical results "
+        "(default: $REPRO_STORAGE or memory)",
     )
 
 
@@ -444,13 +539,36 @@ def _partition(args: argparse.Namespace, edges):
     return build_partitions(edges, layout, threshold), layout, threshold
 
 
-def _graph_info(edges, layout, threshold, graph) -> dict:
+def _obtain_graph(args: argparse.Namespace):
+    """Resolve ``--store`` / ``--npz`` / ``--scale`` (+ ``--storage``) into a
+    partitioned graph.
+
+    Returns ``(edges, graph)``; ``edges`` is ``None`` for store-backed loads
+    (a store holds only the partitioned CSRs, not the raw edge list).
+    """
+    store = getattr(args, "store", None)
+    if store is not None:
+        from repro.storage import load_graph_store
+
+        return None, load_graph_store(store)
+    edges = _load_graph(args)
+    graph, _, _ = _partition(args, edges)
+    from repro.storage import apply_storage, default_storage_name
+
+    storage = getattr(args, "storage", None) or default_storage_name()
+    if storage != "memory":
+        graph = apply_storage(graph, storage)
+    return edges, graph
+
+
+def _graph_info(graph) -> dict:
     return {
-        "vertices": int(edges.num_vertices),
-        "directed_edges": int(edges.num_edges),
-        "layout": layout.notation(),
-        "threshold": int(threshold),
+        "vertices": int(graph.num_vertices),
+        "directed_edges": int(graph.num_directed_edges),
+        "layout": graph.layout.notation(),
+        "threshold": int(graph.separation.threshold),
         "delegates": int(graph.num_delegates),
+        "storage": getattr(graph, "storage", "memory"),
     }
 
 
@@ -473,6 +591,78 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.partition.layout import ClusterLayout
+    from repro.storage import external_build
+    from repro.utils.rss import max_rss_mb
+
+    if args.chunk_edges < 1 or args.block_edges < 1:
+        print("error: --chunk-edges and --block-edges must be >= 1", file=sys.stderr)
+        return 2
+    layout = ClusterLayout.from_notation(args.layout)
+    if args.npz is not None:
+        from repro.graph.io import load_npz
+        from repro.storage import chunks_from_edgelist
+
+        edges = load_npz(args.npz)
+        num_vertices = edges.num_vertices
+        chunks = chunks_from_edgelist(edges, args.chunk_edges)
+        source = f"npz {args.npz}"
+    elif args.binary is not None:
+        from repro.graph.io import binary_edge_count, iter_binary
+
+        num_vertices, _ = binary_edge_count(args.binary)
+        chunks = iter_binary(args.binary, args.chunk_edges)
+        source = f"binary {args.binary}"
+    elif args.kind == "wdc":
+        from repro.graph.generators import wdc_like_edge_chunks
+
+        num_vertices = 1 << args.scale
+        chunks = wdc_like_edge_chunks(
+            num_vertices=num_vertices, seed=args.seed, chunk_edges=args.chunk_edges
+        )
+        source = f"wdc scale {args.scale}"
+    else:
+        from repro.graph.rmat import generate_rmat_edge_chunks
+
+        num_vertices = 1 << args.scale
+        chunks = generate_rmat_edge_chunks(
+            args.scale, seed=args.seed, chunk_edges=args.chunk_edges
+        )
+        source = f"rmat scale {args.scale}"
+
+    path, report = external_build(
+        chunks,
+        num_vertices,
+        layout,
+        args.out,
+        threshold=args.threshold,
+        storage=args.storage,
+        block_edges=args.block_edges,
+        keep_scratch=args.keep_scratch,
+    )
+    report["source"] = source
+    report["max_rss_mb"] = max_rss_mb()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    walls = report["walls"]
+    print(f"built {path} ({report['storage']}) from {source}")
+    print(
+        f"  {report['num_vertices']:,} vertices, "
+        f"{report['num_directed_edges']:,} directed edges, "
+        f"TH={report['threshold']}, {report['num_delegates']:,} delegates, "
+        f"{report['num_chunks']} chunks -> {report['num_runs']} sorted runs"
+    )
+    print(
+        "  "
+        + " | ".join(f"{name} {wall:.2f} s" for name, wall in walls.items())
+        + f" | total {sum(walls.values()):.2f} s"
+    )
+    print(f"  peak RSS {report['max_rss_mb']:.1f} MiB")
+    return 0
+
+
 def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.baselines.serial_bfs import serial_bfs
     from repro.core.campaign import run_campaign
@@ -487,8 +677,15 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     invalid = _check_exec_args(args)
     if invalid is not None:
         return invalid
-    edges = _load_graph(args)
-    graph, layout, threshold = _partition(args, edges)
+    if args.validate and getattr(args, "store", None) is not None:
+        print(
+            "error: --validate needs the raw edge list, which a graph store "
+            "does not keep; validate against --npz/--scale instead",
+            file=sys.stderr,
+        )
+        return 2
+    edges, graph = _obtain_graph(args)
+    layout, threshold = graph.layout, graph.separation.threshold
     options = BFSOptions(
         direction_optimized=not args.no_direction_optimization,
         local_all2all=args.local_all2all or args.uniquify,
@@ -498,18 +695,20 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     engine = TraversalEngine(graph, options=options, backend=args.backend, kernels=args.kernels)
     if not args.json:
         print(
-            f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+            f"graph: {graph.num_vertices:,} vertices, {graph.num_directed_edges:,} edges | "
             f"cluster {layout.notation()} | TH={threshold} | "
             f"delegates {graph.num_delegates:,} | options {options.label()} | "
             f"algorithm {args.algorithm} | backend {engine.backend_name} | "
-            f"kernels {engine.provider_name}"
+            f"kernels {engine.provider_name} | "
+            f"storage {getattr(graph, 'storage', 'memory')}"
         )
 
     if args.source is not None:
         sources = np.asarray([args.source], dtype=np.int64)
     else:
+        degrees = out_degrees(edges) if edges is not None else graph.separation.degrees
         sources = random_sources(
-            edges.num_vertices, args.sources, rng=args.seed + 1, degrees=out_degrees(edges)
+            graph.num_vertices, args.sources, rng=args.seed + 1, degrees=degrees
         )
 
     oracle = CSRGraph.from_edgelist(edges) if args.validate else None
@@ -555,7 +754,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
-                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "graph": _graph_info(graph),
                     "options": options.label(),
                     "algorithm": args.algorithm,
                     "backend": backend_name,
@@ -587,8 +786,15 @@ def _cmd_components(args: argparse.Namespace) -> int:
     invalid = _check_exec_args(args)
     if invalid is not None:
         return invalid
-    edges = _load_graph(args)
-    graph, layout, threshold = _partition(args, edges)
+    if args.validate and getattr(args, "store", None) is not None:
+        print(
+            "error: --validate needs the raw edge list, which a graph store "
+            "does not keep; validate against --npz/--scale instead",
+            file=sys.stderr,
+        )
+        return 2
+    edges, graph = _obtain_graph(args)
+    layout, threshold = graph.layout, graph.separation.threshold
     engine = TraversalEngine(graph, backend=args.backend, kernels=args.kernels)
     try:
         result = engine.run(ConnectedComponents())
@@ -611,7 +817,7 @@ def _cmd_components(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
-                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "graph": _graph_info(graph),
                     "backend": backend_name,
                     "kernels": kernels_name,
                     "result": result.summary(),
@@ -623,10 +829,10 @@ def _cmd_components(args: argparse.Namespace) -> int:
         return 0
 
     print(
-        f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges | "
+        f"graph: {graph.num_vertices:,} vertices, {graph.num_directed_edges:,} edges | "
         f"cluster {layout.notation()} | TH={threshold} | "
         f"delegates {graph.num_delegates:,} | backend {backend_name} | "
-        f"kernels {kernels_name}"
+        f"kernels {kernels_name} | storage {getattr(graph, 'storage', 'memory')}"
     )
     t = result.timing
     print(
@@ -648,6 +854,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
         suggest_threshold,
         threshold_candidates,
     )
+    from repro.utils.rss import max_rss_mb
 
     edges = _load_graph(args)
     max_degree = int(out_degrees(edges).max()) if edges.num_edges else 0
@@ -670,6 +877,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
                     ],
                     "gpus": args.gpus,
                     "suggested_threshold": int(suggestion),
+                    "max_rss_mb": max_rss_mb(),
                 },
                 indent=2,
             )
@@ -920,6 +1128,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         if args.json:
             return
         wall = record["wall_s"]
+        if "build" in record:
+            b = record["build"]
+            print(
+                f"  {name:<28} build     {wall['graph_build']:8.2f} s wall "
+                f"({record.get('storage', 'memory')}, {b['num_chunks']} chunks, "
+                f"{b['num_directed_edges']:,} edges, "
+                f"peak RSS {record['max_rss_mb']['graph_build']:.0f} MiB) "
+                f"verify {wall['traversal'] * 1e3:.2f} ms, "
+                f"{record['counters']['total_edges_examined']:,} edges examined"
+            )
+            return
         if "dynamic" in record:
             d = record["dynamic"]
             print(
@@ -961,6 +1180,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     if not args.json:
         forced = f", backend={args.backend}" if args.backend else ""
         forced += f", kernels={args.kernels}" if args.kernels else ""
+        forced += f", storage={args.storage}" if args.storage else ""
         print(f"running {len(specs)} scenario(s), repeats={args.repeats}{forced}")
     artifact = run_suite(
         specs,
@@ -974,6 +1194,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         dyn_incremental=not args.dyn_recompute,
         backend=args.backend,
         kernels=args.kernels,
+        storage=args.storage,
     )
     if args.json:
         print(json.dumps(artifact, indent=2))
@@ -982,12 +1203,51 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_artifact_selector(text: str) -> Path:
+    """Resolve a ``bench compare`` artifact selector to a concrete path.
+
+    Three forms: a literal path, a glob pattern (the lexically newest match
+    wins — ``BENCH_<timestamp>`` names sort chronologically), or
+    ``latest``/``latest~N`` over ``./BENCH_*.json``.
+    """
+    import glob as globmod
+
+    if text == "latest" or text.startswith("latest~"):
+        back = 0
+        if text.startswith("latest~"):
+            try:
+                back = int(text.split("~", 1)[1])
+            except ValueError:
+                raise ValueError(f"bad selector {text!r}: expected latest~<integer>") from None
+            if back < 0:
+                raise ValueError(f"bad selector {text!r}: offset must be >= 0")
+        matches = sorted(str(p) for p in Path.cwd().glob("BENCH_*.json"))
+        if back >= len(matches):
+            raise ValueError(
+                f"selector {text!r} needs {back + 1} BENCH_*.json artifact(s) "
+                f"in {Path.cwd()}, found {len(matches)}"
+            )
+        return Path(matches[-1 - back])
+    if any(ch in text for ch in "*?["):
+        matches = sorted(globmod.glob(text))
+        if not matches:
+            raise ValueError(f"no artifact matches the pattern {text!r}")
+        return Path(matches[-1])
+    return Path(text)
+
+
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.bench import BenchArtifactError, compare_artifacts, load_artifact
 
     try:
-        old = load_artifact(args.old)
-        new = load_artifact(args.new)
+        old_path = _resolve_artifact_selector(args.old)
+        new_path = _resolve_artifact_selector(args.new)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        old = load_artifact(old_path)
+        new = load_artifact(new_path)
         report = compare_artifacts(
             old, new, tolerance=args.tolerance, min_delta_s=args.min_delta_ms / 1e3
         )
@@ -997,7 +1257,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
-        print(f"comparing {args.old} -> {args.new}")
+        print(f"comparing {old_path} -> {new_path}")
         for line in report.summary_lines():
             print(line)
     if args.fail_on == "none":
@@ -1131,7 +1391,7 @@ def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
-                    "graph": _graph_info(edges, layout, threshold, graph),
+                    "graph": _graph_info(graph),
                     "workload": workload.describe(),
                     "backend": backend_name,
                     "kernels": kernels_name,
@@ -1311,7 +1571,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.json:
         out = {
-            "graph": _graph_info(edges, layout, threshold, graph),
+            "graph": _graph_info(graph),
             "workload": mixed_workload.describe() if mixed else workload.describe(),
             "backend": backend_name,
             "kernels": kernels_name,
@@ -1360,6 +1620,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "build":
+        return _cmd_build(args)
     if args.command == "bfs":
         return _cmd_bfs(args)
     if args.command == "components":

@@ -279,9 +279,20 @@ class TraversalEngine:
     # ------------------------------------------------------------------ #
     @property
     def provider(self):
-        """The live kernel provider (resolved lazily on first use)."""
+        """The live kernel provider (resolved lazily on first use).
+
+        Graphs on compressed storage get the resolved provider wrapped in a
+        :class:`repro.storage.codec.DecodingProvider`, which decodes exactly
+        the frontier/candidate rows of each visit before delegating — a
+        storage detail, invisible to counters, results and the provider name.
+        """
         if self._provider is None:
-            self._provider = resolve_provider(self._kernels_spec)
+            provider = resolve_provider(self._kernels_spec)
+            if getattr(self.graph, "storage", "memory") == "compressed":
+                from repro.storage.codec import DecodingProvider
+
+                provider = DecodingProvider(provider)
+            self._provider = provider
         return self._provider
 
     @property

@@ -140,6 +140,12 @@ def _run_task(task: tuple):
     # Providers cross the process boundary by name; each worker resolves (and
     # for Numba, loads the on-disk JIT cache) once via the singleton registry.
     provider = resolve_provider(provider_name)
+    if graph_descriptor.get("compressed"):
+        # Compressed-store graphs: decode frontier/candidate rows lazily
+        # before each visit so the kernels see raw adjacency.
+        from repro.storage.codec import DecodingProvider
+
+        provider = DecodingProvider(provider)
 
     def resolve_csr(g: int, name: str):
         return csrs[(g, name)]

@@ -60,12 +60,44 @@ def csr_view(row_offsets: np.ndarray, column_indices: np.ndarray, num_rows: int,
     return csr
 
 
+class FileSegment:
+    """A memory-mapped file posing as a shared-memory segment.
+
+    Graph stores (:mod:`repro.storage.segments`) are addressed with
+    ``file://<path>`` segment names; attaching maps the file read-only and
+    exposes the same ``buf``/``close`` surface
+    :class:`multiprocessing.shared_memory.SharedMemory` has, so the cache,
+    view building and eviction logic need no storage-specific branches.
+    """
+
+    def __init__(self, path: str) -> None:
+        import mmap as _mmap
+
+        self._file = open(path, "rb")
+        import os as _os
+
+        size = _os.fstat(self._file.fileno()).st_size
+        self._mm = _mmap.mmap(self._file.fileno(), size, access=_mmap.ACCESS_READ)
+        self.buf = memoryview(self._mm)
+
+    def close(self) -> None:
+        self.buf.release()
+        self._mm.close()
+        self._file.close()
+
+
+#: Prefix marking a segment name as a file path rather than POSIX shm.
+FILE_SEGMENT_PREFIX = "file://"
+
+
 class SegmentCache:
     """Worker-side LRU cache of attached shared-memory segments.
 
     Keeps at most ``capacity`` segments attached; evicted segments are
     closed (their memory is freed once every process has dropped them,
     since the coordinator unlinks segments it replaces or retires).
+    ``file://`` names attach graph-store files by mmap instead of POSIX
+    shared memory; everything downstream of the attach is identical.
     """
 
     def __init__(self, capacity: int = 8) -> None:
@@ -80,7 +112,10 @@ class SegmentCache:
         if segment is not None:
             self._segments.move_to_end(name)
             return segment
-        segment = shared_memory.SharedMemory(name=name)
+        if name.startswith(FILE_SEGMENT_PREFIX):
+            segment = FileSegment(name[len(FILE_SEGMENT_PREFIX) :])
+        else:
+            segment = shared_memory.SharedMemory(name=name)
         self._segments[name] = segment
         while len(self._segments) > self.capacity:
             stale_name, stale = self._segments.popitem(last=False)
@@ -127,6 +162,21 @@ def csrs_from_descriptor(cache: SegmentCache, descriptor: dict) -> dict:
         return built
     csrs: dict = {}
     for (gpu, key), entry in descriptor["csrs"].items():
+        if entry[0] == "z":
+            # Compressed store entry: varint payload + byte offsets in place
+            # of a raw column array (see repro.storage.segments).
+            from repro.storage.codec import CompressedCSR
+
+            _, ro_off, bo_off, pl_off, pl_len, num_rows, num_edges, col_dtype, num_cols = entry
+            csrs[(gpu, key)] = CompressedCSR(
+                payload=cache.array(name, pl_off, np.uint8, (pl_len,)),
+                byte_offsets=cache.array(name, bo_off, np.int64, (num_rows + 1,)),
+                row_offsets=cache.array(name, ro_off, np.int64, (num_rows + 1,)),
+                num_rows=int(num_rows),
+                num_cols=int(num_cols),
+                column_dtype=np.dtype(col_dtype),
+            )
+            continue
         ro_off, num_rows, ci_off, num_edges, col_dtype, num_cols = entry
         row_offsets = cache.array(name, ro_off, np.int64, (num_rows + 1,))
         columns = cache.array(name, ci_off, np.dtype(col_dtype), (num_edges,))
@@ -148,37 +198,46 @@ class SharedGraphStore:
         self._batch_nwords = 0
 
         # ---- static graph segment ------------------------------------- #
-        entries: dict = {}
-        offset = 0
-        arrays: list[tuple[int, np.ndarray]] = []
-        for g, gpu in enumerate(graph.gpus):
-            for key in CSR_KEYS:
-                csr = getattr(gpu, key)
-                ro = np.ascontiguousarray(csr.row_offsets, dtype=np.int64)
-                ci = np.ascontiguousarray(csr.column_indices)
-                ro_off = _align(offset)
-                offset = ro_off + ro.nbytes
-                ci_off = _align(offset)
-                offset = ci_off + ci.nbytes
-                arrays.append((ro_off, ro))
-                arrays.append((ci_off, ci))
-                entries[(g, key)] = (
-                    ro_off,
-                    csr.num_rows,
-                    ci_off,
-                    csr.num_edges,
-                    ci.dtype.str,
-                    csr.num_cols,
-                )
-        self._graph_segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        buf = self._graph_segment.buf
-        for arr_off, arr in arrays:
-            view = np.frombuffer(buf, dtype=arr.dtype, count=arr.size, offset=arr_off)
-            view[:] = arr
-        self._graph_descriptor = {
-            "segment": self._graph_segment.name,
-            "csrs": entries,
-        }
+        storage = getattr(graph, "storage", "memory")
+        if storage != "memory" and getattr(graph, "storage_path", None):
+            # Store-backed graph: workers attach the store's graph.bin by
+            # mmap (``file://`` segment) — no shm copy of the graph exists.
+            from repro.storage.segments import store_graph_descriptor
+
+            self._graph_segment = None
+            self._graph_descriptor = store_graph_descriptor(graph.storage_path)
+        else:
+            entries: dict = {}
+            offset = 0
+            arrays: list[tuple[int, np.ndarray]] = []
+            for g, gpu in enumerate(graph.gpus):
+                for key in CSR_KEYS:
+                    csr = getattr(gpu, key)
+                    ro = np.ascontiguousarray(csr.row_offsets, dtype=np.int64)
+                    ci = np.ascontiguousarray(csr.column_indices)
+                    ro_off = _align(offset)
+                    offset = ro_off + ro.nbytes
+                    ci_off = _align(offset)
+                    offset = ci_off + ci.nbytes
+                    arrays.append((ro_off, ro))
+                    arrays.append((ci_off, ci))
+                    entries[(g, key)] = (
+                        ro_off,
+                        csr.num_rows,
+                        ci_off,
+                        csr.num_edges,
+                        ci.dtype.str,
+                        csr.num_cols,
+                    )
+            self._graph_segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+            buf = self._graph_segment.buf
+            for arr_off, arr in arrays:
+                view = np.frombuffer(buf, dtype=arr.dtype, count=arr.size, offset=arr_off)
+                view[:] = arr
+            self._graph_descriptor = {
+                "segment": self._graph_segment.name,
+                "csrs": entries,
+            }
 
         # ---- frontier-flag scratch (rewritten before each dispatch) ---- #
         flag_offsets = []
@@ -280,6 +339,8 @@ class SharedGraphStore:
         # Drop the numpy views before closing the mappings they point into.
         self._delegate_flags_view = None
         self._normal_flags_views = []
+        # The graph segment is None for store-backed graphs (the store file
+        # belongs to the store, never unlinked here).
         for segment in (self._graph_segment, self._flags_segment, self._batch_segment):
             if segment is None:
                 continue

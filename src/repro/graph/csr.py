@@ -142,6 +142,28 @@ class CSRGraph:
             num_cols,
         )
 
+    @classmethod
+    def unchecked(
+        cls,
+        row_offsets: np.ndarray,
+        column_indices: np.ndarray,
+        num_rows: int,
+        num_cols: int,
+    ) -> "CSRGraph":
+        """Wrap already-validated arrays without the O(edges) invariant scan.
+
+        Used for zero-copy views over shared-memory segments and memory-mapped
+        storage files, and for the masked row subsets the compressed-adjacency
+        decoder materializes per super-step: re-validating every attach would
+        cost more than the kernels it feeds.  Callers own the invariants.
+        """
+        csr = object.__new__(cls)
+        csr.row_offsets = row_offsets
+        csr.column_indices = column_indices
+        csr.num_rows = num_rows
+        csr.num_cols = num_cols
+        return csr
+
     # ------------------------------------------------------------------ #
     # Properties and access
     # ------------------------------------------------------------------ #

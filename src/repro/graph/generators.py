@@ -31,6 +31,7 @@ from repro.utils.rng import make_rng
 __all__ = [
     "friendster_like",
     "wdc_like",
+    "wdc_like_edge_chunks",
     "uniform_random_graph",
     "power_law_configuration",
     "random_bipartite",
@@ -78,6 +79,21 @@ def power_law_configuration(
     if mean_degree <= 0:
         raise ValueError("mean_degree must be positive")
     gen = make_rng(rng)
+    degrees = _power_law_degrees(num_vertices, mean_degree, exponent, max_degree, gen)
+    total = int(degrees.sum())
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
+    dst = gen.integers(0, num_vertices, size=total).astype(np.int64)
+    return EdgeList(src, dst, num_vertices)
+
+
+def _power_law_degrees(
+    num_vertices: int,
+    mean_degree: float,
+    exponent: float,
+    max_degree: int | None,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """The power-law out-degree sequence behind :func:`power_law_configuration`."""
     cap = (num_vertices - 1) if max_degree is None else int(max_degree)
     # Pareto draws, shifted to >= 1, then scaled to hit the target mean.
     raw = 1.0 + gen.pareto(exponent - 1.0, size=num_vertices)
@@ -85,13 +101,9 @@ def power_law_configuration(
     scale = mean_degree / raw.mean()
     degrees = np.maximum(0, np.round(raw * scale)).astype(np.int64)
     degrees = np.minimum(degrees, cap)
-    total = int(degrees.sum())
-    if total == 0:
+    if int(degrees.sum()) == 0:
         degrees[0] = 1
-        total = 1
-    src = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
-    dst = gen.integers(0, num_vertices, size=total).astype(np.int64)
-    return EdgeList(src, dst, num_vertices)
+    return degrees
 
 
 def friendster_like(
@@ -177,6 +189,93 @@ def wdc_like(
     dst = np.concatenate(dst_parts)
     placement = gen.permutation(num_vertices)[:active].astype(np.int64)
     return EdgeList(placement[src], placement[dst], num_vertices)
+
+
+def wdc_like_edge_chunks(
+    num_vertices: int = 1 << 18,
+    mean_degree: float = 8.0,
+    isolated_fraction: float = 0.1,
+    chain_fraction: float = 0.35,
+    exponent: float = 2.2,
+    seed: int = 11,
+    chunk_edges: int = 1 << 20,
+):
+    """Yield WDC-like edges in bounded ``(src, dst)`` chunks.
+
+    The streaming counterpart of :func:`wdc_like` for the out-of-core build
+    path (:func:`repro.storage.extsort.external_build`): only the O(n)
+    per-vertex arrays (core degree sequence, placement permutation) stay
+    resident, and edge emission — the O(m) part — is bounded by
+    ``chunk_edges``.  Deterministic per ``(seed, chunk_edges)``, but a
+    *different* (equally valid) draw than :func:`wdc_like`'s, because the
+    random stream is consumed per chunk rather than all at once.
+    """
+    if not 0.0 <= isolated_fraction < 1.0:
+        raise ValueError("isolated_fraction must be in [0, 1)")
+    if not 0.0 <= chain_fraction < 1.0:
+        raise ValueError("chain_fraction must be in [0, 1)")
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    gen = make_rng(seed)
+    active = max(4, int(round(num_vertices * (1.0 - isolated_fraction))))
+    chain_count = int(active * chain_fraction)
+    core_count = active - chain_count
+    core_n = max(2, core_count)
+    degrees = _power_law_degrees(core_n, mean_degree, exponent, None, gen)
+    cum = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+    total_core = int(cum[-1])
+    placement = gen.permutation(num_vertices)[:active].astype(np.int64)
+
+    # Scale-free core: the stub expansion src = repeat(arange, degrees) is
+    # sliced into edge ranges [e0, e1); searchsorted on the degree cumsum
+    # recovers which vertices' stubs fall in the slice.
+    num_core_chunks = (total_core + chunk_edges - 1) // chunk_edges
+    children = (
+        np.random.SeedSequence(seed + 1).spawn(num_core_chunks) if num_core_chunks else []
+    )
+    for index, child in enumerate(children):
+        cgen = np.random.default_rng(child)
+        e0 = index * chunk_edges
+        e1 = min(total_core, e0 + chunk_edges)
+        r0 = int(np.searchsorted(cum, e0, side="right") - 1)
+        r1 = int(np.searchsorted(cum, e1, side="left"))
+        counts = np.minimum(cum[r0 + 1 : r1 + 1], e1) - np.maximum(cum[r0:r1], e0)
+        src = np.repeat(np.arange(r0, r1, dtype=np.int64), counts)
+        dst = cgen.integers(0, core_n, size=e1 - e0).astype(np.int64)
+        yield placement[src], placement[dst]
+
+    # Long chains: generated per chain (each at most a few thousand edges),
+    # buffered up to chunk_edges, then flushed in bounded slices.
+    if chain_count > 1:
+        chain_ids = np.arange(core_count, core_count + chain_count, dtype=np.int64)
+        num_chains = max(1, chain_count // 4096)
+        bounds = np.linspace(0, chain_count, num_chains + 1).astype(np.int64)
+        buf_src: list[np.ndarray] = []
+        buf_dst: list[np.ndarray] = []
+        buffered = 0
+
+        def drain():
+            nonlocal buf_src, buf_dst, buffered
+            src = np.concatenate(buf_src)
+            dst = np.concatenate(buf_dst)
+            buf_src, buf_dst, buffered = [], [], 0
+            for s0 in range(0, src.size, chunk_edges):
+                sl = slice(s0, s0 + chunk_edges)
+                yield placement[src[sl]], placement[dst[sl]]
+
+        for ci in range(num_chains):
+            lo, hi = int(bounds[ci]), int(bounds[ci + 1])
+            if hi - lo < 1:
+                continue
+            segment = chain_ids[lo:hi]
+            anchor = int(gen.integers(0, max(1, core_count)))
+            buf_src.append(np.concatenate([[anchor], segment[:-1]]))
+            buf_dst.append(segment)
+            buffered += hi - lo
+            if buffered >= chunk_edges:
+                yield from drain()
+        if buffered:
+            yield from drain()
 
 
 def uniform_random_graph(

@@ -4,22 +4,40 @@ The paper's implementation is "a component of a complex workflow with many
 components that use standard formats for passing data between them"; we keep
 the same spirit by supporting two simple interchange formats:
 
-* a **binary** ``.npz`` container (fast, exact, compressed), and
+* a **binary** ``.npz`` container (fast, exact, compressed),
 * a **text** format with one ``src dst`` pair per line (interoperable with
   practically every graph tool, including the SNAP-format distribution of the
-  real Friendster dataset).
+  real Friendster dataset), and
+* a **raw binary** single-file format (fixed header + interleaved little-endian
+  ``int64`` pairs) that can be read back in bounded chunks, which is what the
+  out-of-core build path (:mod:`repro.storage`) streams from.
 """
 
 from __future__ import annotations
 
+import struct
 import warnings
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
 
-__all__ = ["save_npz", "load_npz", "save_text", "load_text"]
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_text",
+    "load_text",
+    "save_binary",
+    "load_binary",
+    "iter_binary",
+    "binary_edge_count",
+]
+
+#: Magic + version for the raw binary edge format ("repro edge list v1").
+_BINARY_MAGIC = b"REPROEL1"
+_BINARY_HEADER = struct.Struct("<8sqq")  # magic, num_vertices, num_edges
 
 
 def save_npz(path: str | Path, edges: EdgeList) -> None:
@@ -84,3 +102,87 @@ def load_text(path: str | Path, num_vertices: int | None = None) -> EdgeList:
     if n is None:
         n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1) if src.size else 0
     return EdgeList(src, dst, n)
+
+
+def save_binary(path: str | Path, edges: EdgeList) -> None:
+    """Save an edge list in the raw binary single-file format.
+
+    Layout: an ``REPROEL1`` magic header carrying ``num_vertices`` and
+    ``num_edges`` (little-endian ``int64``), followed by the edges as
+    interleaved ``(src, dst)`` little-endian ``int64`` pairs.  Unlike
+    :func:`save_npz` the payload is uncompressed and seekable, so
+    :func:`iter_binary` can stream it back with peak memory bounded by the
+    chunk size.
+    """
+    path = Path(path)
+    pairs = np.empty((edges.num_edges, 2), dtype="<i8")
+    pairs[:, 0] = edges.src
+    pairs[:, 1] = edges.dst
+    with path.open("wb") as fh:
+        fh.write(_BINARY_HEADER.pack(_BINARY_MAGIC, edges.num_vertices, edges.num_edges))
+        fh.write(pairs.tobytes())
+
+
+def _read_binary_header(fh, path: Path) -> tuple[int, int]:
+    raw = fh.read(_BINARY_HEADER.size)
+    if len(raw) != _BINARY_HEADER.size:
+        raise ValueError(f"{path} is too short to be a binary edge list")
+    magic, num_vertices, num_edges = _BINARY_HEADER.unpack(raw)
+    if magic != _BINARY_MAGIC:
+        raise ValueError(f"{path} is not a binary edge list (bad magic {magic!r})")
+    if num_vertices < 0 or num_edges < 0:
+        raise ValueError(f"{path} header is corrupt: {num_vertices=} {num_edges=}")
+    return num_vertices, num_edges
+
+
+def load_binary(path: str | Path) -> EdgeList:
+    """Load an edge list previously written by :func:`save_binary`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        num_vertices, num_edges = _read_binary_header(fh, path)
+        flat = np.fromfile(fh, dtype="<i8", count=2 * num_edges)
+    if flat.size != 2 * num_edges:
+        raise ValueError(
+            f"{path} is truncated: header says {num_edges} edges, "
+            f"payload holds {flat.size / 2:g}"
+        )
+    pairs = flat.reshape(-1, 2)
+    return EdgeList(
+        np.ascontiguousarray(pairs[:, 0]),
+        np.ascontiguousarray(pairs[:, 1]),
+        num_vertices,
+    )
+
+
+def iter_binary(
+    path: str | Path, chunk_edges: int = 1 << 20
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Stream a :func:`save_binary` file back as bounded ``(src, dst)`` chunks.
+
+    Peak memory is ``O(chunk_edges)`` regardless of file size; the chunks plug
+    directly into :func:`repro.storage.extsort.external_build`.
+    """
+    path = Path(path)
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    with path.open("rb") as fh:
+        _, num_edges = _read_binary_header(fh, path)
+        remaining = num_edges
+        while remaining > 0:
+            count = min(chunk_edges, remaining)
+            flat = np.fromfile(fh, dtype="<i8", count=2 * count)
+            if flat.size != 2 * count:
+                raise ValueError(f"{path} is truncated mid-stream")
+            pairs = flat.reshape(-1, 2)
+            yield (
+                np.ascontiguousarray(pairs[:, 0]),
+                np.ascontiguousarray(pairs[:, 1]),
+            )
+            remaining -= count
+
+
+def binary_edge_count(path: str | Path) -> tuple[int, int]:
+    """Return ``(num_vertices, num_edges)`` from a binary edge list header."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        return _read_binary_header(fh, path)

@@ -23,7 +23,12 @@ import numpy as np
 from repro.graph.edgelist import EdgeList
 from repro.utils.rng import deterministic_hash_permutation, make_rng
 
-__all__ = ["RMATParameters", "generate_rmat", "generate_rmat_edges"]
+__all__ = [
+    "RMATParameters",
+    "generate_rmat",
+    "generate_rmat_edges",
+    "generate_rmat_edge_chunks",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,55 @@ def generate_rmat_edges(
         dst = (dst << 1) | col_bit
 
     return EdgeList(src, dst, n)
+
+
+def generate_rmat_edge_chunks(
+    scale: int,
+    params: RMATParameters = RMATParameters(),
+    seed: int = 11,
+    chunk_edges: int = 1 << 20,
+    num_edges: int | None = None,
+):
+    """Yield raw directed RMAT edges in bounded ``(src, dst)`` chunks.
+
+    The streaming counterpart of :func:`generate_rmat_edges`: peak memory is
+    bounded by ``chunk_edges`` regardless of scale, which is what the
+    out-of-core build (:func:`repro.storage.extsort.external_build`)
+    consumes.  Each chunk draws from its own generator spawned off one
+    ``SeedSequence``, so the stream is deterministic per ``(scale, seed,
+    chunk_edges)`` — but it is a *different* (equally valid Graph500) draw
+    than the single-shot generator's, because the random stream is consumed
+    per chunk rather than per level across all edges.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    if scale > 32:
+        raise ValueError(
+            f"scale {scale} would not fit in memory for this pure-Python reproduction"
+        )
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    n = 1 << scale
+    m = int(params.edge_factor * n) if num_edges is None else int(num_edges)
+    if m < 0:
+        raise ValueError("number of edges must be non-negative")
+    num_chunks = (m + chunk_edges - 1) // chunk_edges
+    children = np.random.SeedSequence(seed).spawn(num_chunks) if num_chunks else []
+    p_a, p_b, p_c = params.a, params.b, params.c
+    for index, child in enumerate(children):
+        gen = np.random.default_rng(child)
+        count = min(chunk_edges, m - index * chunk_edges)
+        src = np.zeros(count, dtype=np.int64)
+        dst = np.zeros(count, dtype=np.int64)
+        for _level in range(scale):
+            r = gen.random(count)
+            row_bit = (r >= p_a + p_b).astype(np.int64)
+            col_bit = (((r >= p_a) & (r < p_a + p_b)) | (r >= p_a + p_b + p_c)).astype(
+                np.int64
+            )
+            src = (src << 1) | row_bit
+            dst = (dst << 1) | col_bit
+        yield src, dst
 
 
 def generate_rmat(

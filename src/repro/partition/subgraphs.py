@@ -131,6 +131,12 @@ class PartitionedGraph:
     separation: DegreeSeparation
     census: EdgeCategoryCensus
     gpus: list[GPUPartition]
+    #: Backing storage of the subgraph arrays: ``"memory"`` (plain ndarrays),
+    #: ``"mmap"`` (views into a store's ``graph.bin``) or ``"compressed"``
+    #: (mmap views with varint nn/nd columns).  See :mod:`repro.storage`.
+    storage: str = "memory"
+    #: Store directory for mmap/compressed graphs, ``None`` for memory.
+    storage_path: str | None = None
 
     # ------------------------------------------------------------------ #
     # Convenience accessors

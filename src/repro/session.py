@@ -74,6 +74,7 @@ def session(
     hardware: HardwareSpec | None = None,
     backend=None,
     kernels=None,
+    storage: str | None = None,
 ) -> "Session":
     """Start a fluent traversal session over a virtual cluster.
 
@@ -99,9 +100,21 @@ def session(
         :class:`repro.exec.KernelProvider`; can also be set fluently via
         :meth:`Session.kernels`.  Results and counters are
         provider-invariant; only wall-clock changes.
+    storage:
+        Graph storage mode: ``"memory"`` (default), ``"mmap"`` for a
+        memory-mapped store, ``"compressed"`` for a store with delta+varint
+        nn/nd adjacency, or ``None`` for the ``REPRO_STORAGE`` environment
+        default; can also be set fluently via :meth:`Session.storage`.
+        Results and counters are storage-invariant; only memory and
+        wall-clock change.
     """
     return Session(
-        layout=layout, options=options, hardware=hardware, backend=backend, kernels=kernels
+        layout=layout,
+        options=options,
+        hardware=hardware,
+        backend=backend,
+        kernels=kernels,
+        storage=storage,
     )
 
 
@@ -115,6 +128,7 @@ class Session:
         hardware: HardwareSpec | None = None,
         backend=None,
         kernels=None,
+        storage: str | None = None,
     ) -> None:
         self._layout = (
             layout if isinstance(layout, ClusterLayout) else ClusterLayout.from_notation(layout)
@@ -123,6 +137,8 @@ class Session:
         self._hardware = hardware
         self._backend = backend
         self._kernels = kernels
+        self._storage = storage
+        self._storage_path: Path | None = None
         self._edges: EdgeList | None = None
         self._threshold: int | _Auto = auto
         self._built: GraphSession | None = None
@@ -221,6 +237,29 @@ class Session:
             self._built.kernels(kernels)
         return self
 
+    def storage(self, storage: str | None, path: str | Path | None = None) -> "Session":
+        """Choose the graph storage mode (``"memory"`` / ``"mmap"`` /
+        ``"compressed"``).
+
+        ``None`` falls back to the ``REPRO_STORAGE`` environment default.
+        For the store-backed modes ``path`` optionally pins the store
+        directory (default: a process-lifetime temporary directory).
+        Traversal results and counters are storage-invariant.
+
+        >>> import repro  # doctest: +SKIP
+        >>> repro.session().generate(scale=16).storage("compressed").bfs(0)
+        """
+        from repro.storage import STORAGE_NAMES
+
+        if storage is not None and storage not in STORAGE_NAMES:
+            raise ValueError(
+                f"storage must be one of {', '.join(STORAGE_NAMES)}, got {storage!r}"
+            )
+        self._storage = storage
+        self._storage_path = Path(path) if path is not None else None
+        self._built = None
+        return self
+
     # ------------------------------------------------------------------ #
     # Building and running
     # ------------------------------------------------------------------ #
@@ -236,6 +275,15 @@ class Session:
         if isinstance(threshold, _Auto):
             threshold = suggest_threshold(self._edges, self._layout.num_gpus)
         graph = build_partitions(self._edges, self._layout, threshold)
+        storage = self._storage
+        if storage is None:
+            from repro.storage import default_storage_name
+
+            storage = default_storage_name()
+        if storage != "memory":
+            from repro.storage import apply_storage
+
+            graph = apply_storage(graph, storage, path=self._storage_path)
         engine = TraversalEngine(
             graph,
             options=self._options,
@@ -338,6 +386,11 @@ class GraphSession:
         """Resolved registry name of the kernel provider in effect."""
         return self.engine.provider_name
 
+    @property
+    def storage_name(self) -> str:
+        """Storage mode backing this session's graph arrays."""
+        return getattr(self.graph, "storage", "memory")
+
     def close(self) -> None:
         """Release the engine's execution backend (idempotent)."""
         self.engine.close()
@@ -386,6 +439,12 @@ class GraphSession:
         """
         from repro.dynamic import DynamicEngine, DynamicGraph, EdgeDelta
 
+        if self.storage_name != "memory":
+            raise RuntimeError(
+                f"mutate() requires memory storage, but this graph is "
+                f"{self.storage_name}-backed (stores are immutable); rebuild "
+                "with storage='memory' to mutate"
+            )
         if delta is None:
             if inserts is None and deletes is None:
                 raise ValueError("pass a delta or inserts=/deletes= edge pairs")

@@ -1,0 +1,27 @@
+"""Peak-RSS measurement.
+
+The out-of-core build path exists so graphs larger than memory can be built
+and traversed; the evidence that it works is the process's peak resident set
+staying bounded.  :func:`max_rss_mb` reads the kernel's high-water mark via
+``resource.getrusage``, which is what the benchmark harness records per
+phase and what ``repro census --json`` prints.
+
+Note that ``ru_maxrss`` is a *process-lifetime* high-water mark: it only ever
+grows, so per-phase snapshots report "peak so far", not per-phase deltas.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["max_rss_mb"]
+
+
+def max_rss_mb() -> float:
+    """Peak resident set size of this process in MiB."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - not exercised in CI
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0

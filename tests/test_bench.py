@@ -246,7 +246,8 @@ class TestRegistry:
         options = {s.options.label() for s in REGISTRY}
         thresholds = {s.threshold for s in REGISTRY}
         assert programs == {
-            "levels", "parents", "components", "khop", "serve", "serve_cluster", "dynamic",
+            "levels", "parents", "components", "khop", "serve", "serve_cluster",
+            "dynamic", "build",
         }
         assert kinds == {"rmat", "uniform", "wdc"}
         assert {"DO+BR", "plain+BR", "DO+IR", "DO+L+U+BR"} <= options

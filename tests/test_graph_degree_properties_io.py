@@ -8,7 +8,16 @@ import pytest
 from repro.graph.degree import degree_histogram, degree_summary, in_degrees, out_degrees
 from repro.graph.edgelist import EdgeList
 from repro.graph.generators import path_edges, star_edges
-from repro.graph.io import load_npz, load_text, save_npz, save_text
+from repro.graph.io import (
+    binary_edge_count,
+    iter_binary,
+    load_binary,
+    load_npz,
+    load_text,
+    save_binary,
+    save_npz,
+    save_text,
+)
 from repro.graph.permute import apply_vertex_permutation, hashed_relabel, invert_permutation
 from repro.graph.properties import analyze_graph, bfs_depth_estimate
 from repro.graph.rmat import generate_rmat
@@ -126,3 +135,85 @@ class TestIO:
         loaded = load_text(path, num_vertices=3)
         assert loaded.num_edges == 0
         assert loaded.num_vertices == 3
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.int64, np.uint32])
+    def test_npz_roundtrip_across_dtypes(self, tmp_path, dtype):
+        src = np.array([0, 3, 7], dtype=dtype)
+        dst = np.array([1, 0, 2], dtype=dtype)
+        e = EdgeList(src, dst, 9)
+        path = tmp_path / "g.npz"
+        save_npz(path, e)
+        loaded = load_npz(path)
+        # Loads always normalize to int64 regardless of the input dtype.
+        assert loaded.src.dtype == np.int64 and loaded.dst.dtype == np.int64
+        np.testing.assert_array_equal(loaded.src, src.astype(np.int64))
+        np.testing.assert_array_equal(loaded.dst, dst.astype(np.int64))
+
+    def test_npz_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(path, EdgeList([], [], 5))
+        loaded = load_npz(path)
+        assert loaded.num_edges == 0 and loaded.num_vertices == 5
+
+    def test_npz_preserves_isolated_vertices(self, tmp_path):
+        # Vertex 9 has no incident edge; num_vertices must survive the trip.
+        e = EdgeList([0, 1], [1, 2], 10)
+        path = tmp_path / "iso.npz"
+        save_npz(path, e)
+        assert load_npz(path).num_vertices == 10
+
+
+class TestBinaryIO:
+    def test_roundtrip(self, tmp_path):
+        e = generate_rmat(8, rng=3)
+        path = tmp_path / "graph.bin"
+        save_binary(path, e)
+        loaded = load_binary(path)
+        assert loaded.num_vertices == e.num_vertices
+        np.testing.assert_array_equal(loaded.src, e.src)
+        np.testing.assert_array_equal(loaded.dst, e.dst)
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.int64])
+    def test_roundtrip_across_dtypes(self, tmp_path, dtype):
+        e = EdgeList(
+            np.array([0, 5], dtype=dtype), np.array([2, 1], dtype=dtype), 7
+        )
+        path = tmp_path / "g.bin"
+        save_binary(path, e)
+        loaded = load_binary(path)
+        assert loaded.src.dtype == np.int64
+        np.testing.assert_array_equal(loaded.src, [0, 5])
+        np.testing.assert_array_equal(loaded.dst, [2, 1])
+
+    def test_empty_graph_and_isolated_vertices(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        save_binary(path, EdgeList([], [], 4))
+        loaded = load_binary(path)
+        assert loaded.num_edges == 0 and loaded.num_vertices == 4
+        assert binary_edge_count(path) == (4, 0)
+        assert list(iter_binary(path)) == []
+
+    def test_streamed_iteration_matches_bulk_load(self, tmp_path):
+        e = generate_rmat(8, rng=5)
+        path = tmp_path / "g.bin"
+        save_binary(path, e)
+        chunks = list(iter_binary(path, chunk_edges=500))
+        assert all(s.size <= 500 for s, _ in chunks)
+        np.testing.assert_array_equal(np.concatenate([s for s, _ in chunks]), e.src)
+        np.testing.assert_array_equal(np.concatenate([d for _, d in chunks]), e.dst)
+        assert binary_edge_count(path) == (e.num_vertices, e.num_edges)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="not a binary edge list"):
+            load_binary(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        e = EdgeList([0, 1, 2], [1, 2, 0], 3)
+        path = tmp_path / "t.bin"
+        save_binary(path, e)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])  # chop half an edge record off
+        with pytest.raises(ValueError, match="truncated"):
+            load_binary(path)
