@@ -77,6 +77,7 @@ from repro.dynamic import (
     EdgeDelta,
     MaintainedComponents,
     MaintainedLevels,
+    MaintainedSSSP,
     update_stream,
 )
 from repro.graph import EdgeList, friendster_like, generate_rmat, wdc_like
@@ -84,6 +85,17 @@ from repro.partition import ClusterLayout, build_partitions, suggest_threshold
 from repro.serve import MixedWorkload, Query, QueryService, ZipfWorkload
 from repro.session import GraphSession, Session, auto, session
 from repro.validate import validate_distances
+from repro.weighted import (
+    BellmanFordSSSP,
+    ComponentsHooking,
+    DeltaSteppingSSSP,
+    HookingResult,
+    PageRank,
+    PageRankResult,
+    SSSPResult,
+    TriangleCount,
+    TriangleCountResult,
+)
 
 __all__ = [
     "__version__",
@@ -106,6 +118,16 @@ __all__ = [
     "KHopReachability",
     "BatchedBFSLevels",
     "BatchedReachability",
+    # weighted zoo
+    "BellmanFordSSSP",
+    "DeltaSteppingSSSP",
+    "PageRank",
+    "ComponentsHooking",
+    "TriangleCount",
+    "SSSPResult",
+    "PageRankResult",
+    "HookingResult",
+    "TriangleCountResult",
     # results
     "TraversalResult",
     "BFSResult",
@@ -127,6 +149,7 @@ __all__ = [
     "update_stream",
     "MaintainedLevels",
     "MaintainedComponents",
+    "MaintainedSSSP",
     # options + hardware
     "BFSOptions",
     "HardwareSpec",

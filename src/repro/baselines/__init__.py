@@ -19,6 +19,10 @@
 ``union_find``
     Serial connected components (disjoint-set forest) — the oracle for the
     distributed min-label-propagation program.
+``weighted``
+    Serial oracles of the weighted program zoo: heap Dijkstra for SSSP,
+    float and exact-integer PageRank references, and a transparent
+    neighbor-intersection triangle counter.
 """
 
 from repro.baselines.bfs_1d import OneDBFS
@@ -26,6 +30,12 @@ from repro.baselines.bfs_2d import TwoDBFS
 from repro.baselines.serial_bfs import serial_bfs, serial_bfs_edge_workload
 from repro.baselines.serial_dobfs import serial_dobfs
 from repro.baselines.union_find import serial_components, union_find_components
+from repro.baselines.weighted import (
+    dijkstra_sssp,
+    pagerank_power,
+    pagerank_reference_fixed,
+    triangle_count_serial,
+)
 
 __all__ = [
     "serial_bfs",
@@ -35,4 +45,8 @@ __all__ = [
     "union_find_components",
     "OneDBFS",
     "TwoDBFS",
+    "dijkstra_sssp",
+    "pagerank_power",
+    "pagerank_reference_fixed",
+    "triangle_count_serial",
 ]

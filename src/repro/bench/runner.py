@@ -75,11 +75,22 @@ def values_checksum(result) -> int:
     """Order-independent 64-bit checksum of a traversal result's answer.
 
     Covers whichever per-vertex array the result carries (``distances``,
-    ``parents`` or ``labels``) so the comparator can prove two artifacts
+    ``parents`` or ``labels`` — or, for the weighted zoo, ``dist_bits``,
+    ``ranks`` or ``per_vertex``) so the comparator can prove two artifacts
     describe the *same* traversal answers, not merely similar timings.
     """
+    attrs = ("distances", "parents", "labels")
+    if getattr(result, "dist_bits", None) is not None:
+        # SSSP answers live in the int64 bit view — the exact values the
+        # engine's minimum-folds operated on; the float ``distances``
+        # property carries inf for unreached vertices and cannot coerce.
+        attrs = ("dist_bits",)
+    elif getattr(result, "ranks", None) is not None:
+        attrs = ("ranks",)  # PageRank fixed-point ranks: exact integers
+    elif getattr(result, "per_vertex", None) is not None:
+        attrs = ("per_vertex",)  # per-vertex triangle counts
     checksum = np.uint64(0)
-    for attr in ("distances", "parents", "labels"):
+    for attr in attrs:
         values = getattr(result, attr, None)
         if values is None:
             continue
@@ -740,6 +751,7 @@ def run_scenario(
     wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0, "traversal": 0.0}
     modeled = TimingBreakdown()
     per_source_counters: list[dict] = []
+    sssp_section: dict | None = None
     try:
         backend_name = engine.backend_name
         kernels_name = engine.provider_name
@@ -754,6 +766,54 @@ def run_scenario(
                 wall[phase] = wall.get(phase, 0.0) + seconds
             modeled = modeled + TimingBreakdown(**timed["modeled_ms"])
             per_source_counters.append(timed["counters"])
+        if spec.program == "sssp":
+            # Run the Bellman-Ford baseline from the same sources: its wall
+            # and counters land in the record's "sssp" section (never in the
+            # gated phases, which belong to the delta-stepping path), and its
+            # answers must match delta-stepping's bit for bit — asserted
+            # here, so every sssp artifact proves schedule equivalence.
+            from repro.weighted import BellmanFordSSSP
+
+            bf_wall = 0.0
+            bf_modeled = 0.0
+            bf_edges = 0
+            for source, delta_counters in zip(sources, per_source_counters):
+                timed = time_program(
+                    engine,
+                    lambda: BellmanFordSSSP(source),
+                    repeats=repeats,
+                    check_determinism=check_determinism,
+                )
+                if (
+                    timed["counters"]["values_checksum"]
+                    != delta_counters["values_checksum"]
+                ):
+                    raise BenchDeterminismError(
+                        "delta-stepping and Bellman-Ford disagree on the "
+                        f"distances from source {source} in {spec.name!r}"
+                    )
+                bf_wall += timed["wall_s"].get("traversal", 0.0)
+                bf_modeled += float(timed["counters"]["modeled_elapsed_ms"])
+                bf_edges += int(timed["counters"]["total_edges_examined"])
+            delta_wall = wall["traversal"]
+            delta_modeled = float(
+                sum(c["modeled_elapsed_ms"] for c in per_source_counters)
+            )
+            sssp_section = {
+                "delta": spec.delta if isinstance(spec.delta, str) else float(spec.delta),
+                "wall_delta_s": delta_wall,
+                "wall_bellman_ford_s": bf_wall,
+                "wall_speedup": bf_wall / delta_wall if delta_wall > 0 else 0.0,
+                "modeled_delta_ms": delta_modeled,
+                "modeled_bellman_ford_ms": bf_modeled,
+                "modeled_speedup": (
+                    bf_modeled / delta_modeled if delta_modeled > 0 else 0.0
+                ),
+                "edges_delta": int(
+                    sum(c["total_edges_examined"] for c in per_source_counters)
+                ),
+                "edges_bellman_ford": bf_edges,
+            }
     finally:
         engine.close()
         if store_dir is not None:
@@ -769,7 +829,7 @@ def run_scenario(
     wall["total"] = (
         build_timer.elapsed + partition_timer.elapsed + storage_wall + wall["traversal"]
     )
-    return {
+    record = {
         "spec": spec.describe(),
         "repeats": repeats,
         "backend": backend_name,
@@ -782,6 +842,11 @@ def run_scenario(
         "counters": _merge_counters(per_source_counters),
         "max_rss_mb": {k: float(v) for k, v in sorted(rss.items())},
     }
+    if sssp_section is not None:
+        record["sssp"] = {
+            k: (float(v) if isinstance(v, float) else v) for k, v in sssp_section.items()
+        }
+    return record
 
 
 def run_build_scenario(

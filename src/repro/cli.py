@@ -20,6 +20,18 @@ downstream user needs without writing Python:
 ``python -m repro.cli components``
     Run distributed connected components (min-label propagation) over the
     same engine and report the component structure.
+``python -m repro.cli sssp``
+    Weighted single-source shortest paths over the same engine: the
+    delta-stepping bucketed schedule by default (``--delta`` picks the
+    bucket width), the plain Bellman-Ford schedule with ``--bellman-ford``.
+    Needs a weighted graph (``--weights SEED`` on ``--scale`` generation,
+    or an npz/store built with weights); ``--validate`` checks bit-exact
+    against a serial Dijkstra oracle.
+``python -m repro.cli pagerank``
+    PageRank over the engine's value-sweep path: ``--mode fixed`` runs a
+    deterministic integer fixed-point sweep (bit-identical across backends,
+    providers and storage tiers), ``--mode push`` the residual-push variant
+    that converges to ``--eps``.  Works on weighted and unweighted graphs.
 ``python -m repro.cli census``
     Print the Figure-5 style edge-category census for a sweep of degree
     thresholds, plus the suggested threshold for a given GPU count.
@@ -39,7 +51,8 @@ downstream user needs without writing Python:
 ``python -m repro.cli mutate``
     The dynamic-graph subsystem: apply a deterministic update stream to a
     mutable graph while incrementally maintaining a traversal answer
-    (BFS levels or connected components), verifying every repaired answer
+    (BFS levels, connected components, or weighted shortest paths with
+    ``--program sssp --weights SEED``), verifying every repaired answer
     against a from-scratch run and reporting the repair-vs-recompute
     traversal work.
 
@@ -98,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--kind", choices=["rmat", "friendster", "wdc"], default="rmat")
     gen.add_argument("--scale", type=int, default=16, help="log2 of the vertex count")
     gen.add_argument("--seed", type=int, default=11)
+    gen.add_argument(
+        "--weights",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="attach deterministic edge-keyed float64 weights with this seed "
+        "(required by the weighted programs: sssp, mutate --program sssp)",
+    )
     gen.add_argument("--output", type=Path, required=True)
 
     build = sub.add_parser(
@@ -177,6 +198,60 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--validate", action="store_true", help="check against union-find")
     comp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    sssp = sub.add_parser(
+        "sssp", help="weighted single-source shortest paths (delta-stepping)"
+    )
+    _add_graph_args(sssp, store=True)
+    _add_cluster_args(sssp)
+    _add_backend_arg(sssp)
+    _add_kernels_arg(sssp)
+    _add_storage_arg(sssp)
+    sssp.add_argument("--sources", type=int, default=3, help="number of random sources")
+    sssp.add_argument("--source", type=int, default=None, help="explicit source vertex")
+    sssp.add_argument(
+        "--delta",
+        default="auto",
+        help="bucket width: a positive float, 'auto' (1/avg-degree) or 'inf' "
+        "(one bucket = the Bellman-Ford schedule)",
+    )
+    sssp.add_argument(
+        "--bellman-ford",
+        action="store_true",
+        help="run the plain Bellman-Ford program instead of the bucketed driver "
+        "(the workload baseline; identical distances)",
+    )
+    sssp.add_argument(
+        "--validate", action="store_true", help="check against a serial Dijkstra oracle"
+    )
+    sssp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    pr = sub.add_parser("pagerank", help="PageRank over the delegate-partitioned engine")
+    _add_graph_args(pr, store=True)
+    _add_cluster_args(pr)
+    _add_backend_arg(pr)
+    _add_kernels_arg(pr)
+    _add_storage_arg(pr)
+    pr.add_argument("--damping", type=float, default=0.85, help="damping factor in (0, 1)")
+    pr.add_argument(
+        "--mode",
+        choices=["fixed", "push"],
+        default="fixed",
+        help="fixed sweep count (deterministic, the gated mode) or "
+        "residual-push to an eps threshold",
+    )
+    pr.add_argument("--iterations", type=int, default=20, help="sweeps in fixed mode")
+    pr.add_argument(
+        "--eps", type=float, default=1e-7, help="residual threshold in push mode"
+    )
+    pr.add_argument("--top", type=int, default=5, help="highest-ranked vertices to print")
+    pr.add_argument(
+        "--validate",
+        action="store_true",
+        help="check against the serial reference (exact in fixed mode, "
+        "float power iteration in push mode)",
+    )
+    pr.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     census = sub.add_parser("census", help="edge-category census vs degree threshold")
     _add_graph_args(census)
     census.add_argument("--gpus", type=int, default=8, help="GPU count for the TH suggestion")
@@ -191,12 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernels_arg(mut)
     mut.add_argument(
         "--program",
-        choices=["levels", "components"],
+        choices=["levels", "components", "sssp"],
         default="levels",
-        help="which maintained answer to repair across the stream",
+        help="which maintained answer to repair across the stream "
+        "(sssp needs a weighted graph: --weights)",
     )
     mut.add_argument(
-        "--source", type=int, default=None, help="BFS source (default: a random one)"
+        "--source", type=int, default=None, help="BFS/SSSP source (default: a random one)"
     )
     mut.add_argument("--batches", type=int, default=4, help="update batches to apply")
     mut.add_argument(
@@ -355,9 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s_bench.add_argument(
         "--program",
-        choices=["levels", "khop"],
+        choices=["levels", "khop", "sssp", "pagerank"],
         default="levels",
-        help="query program served to every request",
+        help="query program served to every request (sssp needs a weighted "
+        "graph: --weights)",
     )
     s_bench.add_argument("--max-hops", type=int, default=3, help="hop cap for khop")
     s_bench.add_argument(
@@ -445,6 +522,14 @@ def _add_graph_args(sub: argparse.ArgumentParser, store: bool = False) -> None:
             "--store", type=Path, help="graph store directory built by `repro build`"
         )
     sub.add_argument("--seed", type=int, default=11)
+    sub.add_argument(
+        "--weights",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="attach edge-keyed weights to the on-the-fly --scale graph "
+        "(npz/store graphs carry their own weights; combining is an error)",
+    )
 
 
 def _add_cluster_args(sub: argparse.ArgumentParser) -> None:
@@ -523,7 +608,31 @@ def _load_graph(args: argparse.Namespace):
 
     if getattr(args, "npz", None):
         return load_npz(args.npz)
-    return generate_rmat(args.scale, rng=args.seed)
+    return generate_rmat(
+        args.scale, rng=args.seed, weights_seed=getattr(args, "weights", None)
+    )
+
+
+def _check_weights_arg(args: argparse.Namespace) -> int | None:
+    """Exit-2 path for ``--weights`` against a graph that ships its own.
+
+    ``--weights`` seeds weights for on-the-fly ``--scale`` generation; an
+    npz archive or graph store either carries weights or was deliberately
+    built without them, and silently ignoring the flag would let e.g.
+    ``sssp --npz unweighted.npz --weights 7`` look configured while failing
+    later for a different-sounding reason.
+    """
+    if getattr(args, "weights", None) is None:
+        return None
+    if getattr(args, "npz", None) is not None or getattr(args, "store", None) is not None:
+        print(
+            "error: --weights only applies to --scale generation; npz/store "
+            "graphs carry their own weights (regenerate with "
+            "`repro generate --weights` to attach them)",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def _partition(args: argparse.Namespace, edges):
@@ -578,15 +687,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.graph.rmat import generate_rmat
 
     if args.kind == "rmat":
-        edges = generate_rmat(args.scale, rng=args.seed)
+        edges = generate_rmat(args.scale, rng=args.seed, weights_seed=args.weights)
     elif args.kind == "friendster":
-        edges = friendster_like(num_vertices=1 << args.scale, rng=args.seed).prepared()
+        edges = friendster_like(
+            num_vertices=1 << args.scale, rng=args.seed, weights_seed=args.weights
+        ).prepared()
     else:
-        edges = wdc_like(num_vertices=1 << args.scale, rng=args.seed).prepared()
+        edges = wdc_like(
+            num_vertices=1 << args.scale, rng=args.seed, weights_seed=args.weights
+        ).prepared()
     save_npz(args.output, edges)
+    weighted = ", weighted" if edges.weights is not None else ""
     print(
         f"wrote {args.output}: {edges.num_vertices:,} vertices, "
-        f"{edges.num_edges:,} directed edges ({args.kind}, scale {args.scale})"
+        f"{edges.num_edges:,} directed edges ({args.kind}, scale {args.scale}{weighted})"
     )
     return 0
 
@@ -847,6 +961,246 @@ def _cmd_components(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_delta(text: str):
+    """Parse a ``--delta`` value; returns ``(delta, error-or-None)``."""
+    import math
+
+    if text == "auto":
+        return "auto", None
+    if text in ("inf", "infinity"):
+        return math.inf, None
+    try:
+        value = float(text)
+    except ValueError:
+        value = math.nan
+    if not value > 0 or math.isnan(value):
+        return None, f"--delta must be a positive number, 'auto' or 'inf', got {text!r}"
+    return value, None
+
+
+def _require_weighted_graph(graph) -> int | None:
+    """Exit-2 path for weighted programs on an unweighted graph."""
+    if graph.is_weighted:
+        return None
+    print(
+        "error: this graph carries no edge weights; generate one with "
+        "--weights SEED (or `repro generate --weights`) first",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _cmd_sssp(args: argparse.Namespace) -> int:
+    from repro.baselines.weighted import dijkstra_sssp
+    from repro.core.engine import TraversalEngine
+    from repro.utils.rng import random_sources
+    from repro.weighted import BellmanFordSSSP, DeltaSteppingSSSP
+
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
+    delta, error = _parse_delta(args.delta)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.validate and getattr(args, "store", None) is not None:
+        print(
+            "error: --validate needs the raw edge list, which a graph store "
+            "does not keep; validate against --npz/--scale instead",
+            file=sys.stderr,
+        )
+        return 2
+    edges, graph = _obtain_graph(args)
+    invalid = _require_weighted_graph(graph)
+    if invalid is not None:
+        return invalid
+    layout, threshold = graph.layout, graph.separation.threshold
+
+    if args.source is not None:
+        sources = np.asarray([args.source], dtype=np.int64)
+    else:
+        from repro.graph.degree import out_degrees
+
+        degrees = out_degrees(edges) if edges is not None else graph.separation.degrees
+        sources = random_sources(
+            graph.num_vertices, args.sources, rng=args.seed + 1, degrees=degrees
+        )
+
+    engine = TraversalEngine(graph, backend=args.backend, kernels=args.kernels)
+    schedule = "bellman-ford" if args.bellman_ford else "delta-stepping"
+    if not args.json:
+        print(
+            f"graph: {graph.num_vertices:,} vertices, {graph.num_directed_edges:,} "
+            f"weighted edges | cluster {layout.notation()} | TH={threshold} | "
+            f"delegates {graph.num_delegates:,} | schedule {schedule} | "
+            f"delta {args.delta} | backend {engine.backend_name} | "
+            f"kernels {engine.provider_name} | "
+            f"storage {getattr(graph, 'storage', 'memory')}"
+        )
+
+    runs: list[dict] = []
+    try:
+        for source in sources:
+            source = int(source)
+            if args.bellman_ford:
+                program = BellmanFordSSSP(source)
+            else:
+                program = DeltaSteppingSSSP(source, delta=delta)
+            result = engine.run(program)
+            if args.validate:
+                reference = dijkstra_sssp(
+                    edges.src, edges.dst, edges.weights, edges.num_vertices, source
+                )
+                if not np.array_equal(result.distances, reference):
+                    mismatches = int(
+                        np.count_nonzero(result.distances != reference)
+                    )
+                    raise AssertionError(
+                        f"sssp distances disagree with Dijkstra on "
+                        f"{mismatches} vertices (source {source})"
+                    )
+            runs.append(result.summary())
+            if not args.json:
+                t = result.timing
+                print(
+                    f"  source {source:>9}: {result.num_reached:,} reached, "
+                    f"{result.phases} phases, "
+                    f"{result.total_edges_examined:,} relaxations, "
+                    f"modeled {t.elapsed_ms:.3f} ms"
+                )
+        backend_name = engine.backend_name
+        kernels_name = engine.provider_name
+    finally:
+        engine.close()
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": _graph_info(graph),
+                    "schedule": schedule,
+                    "delta": args.delta,
+                    "backend": backend_name,
+                    "kernels": kernels_name,
+                    "runs": runs,
+                    "validated": bool(args.validate),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if args.validate:
+        print("all runs validated against serial Dijkstra")
+    return 0
+
+
+def _cmd_pagerank(args: argparse.Namespace) -> int:
+    from repro.core.engine import TraversalEngine
+    from repro.weighted import PageRank
+
+    invalid = _check_exec_args(args)
+    if invalid is not None:
+        return invalid
+    if not 0.0 < args.damping < 1.0:
+        print(f"error: --damping must be in (0, 1), got {args.damping}", file=sys.stderr)
+        return 2
+    if args.iterations < 1:
+        print(f"error: --iterations must be >= 1, got {args.iterations}", file=sys.stderr)
+        return 2
+    if not args.eps > 0:
+        print(f"error: --eps must be positive, got {args.eps}", file=sys.stderr)
+        return 2
+    if args.validate and getattr(args, "store", None) is not None:
+        print(
+            "error: --validate needs the raw edge list, which a graph store "
+            "does not keep; validate against --npz/--scale instead",
+            file=sys.stderr,
+        )
+        return 2
+    edges, graph = _obtain_graph(args)
+    layout, threshold = graph.layout, graph.separation.threshold
+    engine = TraversalEngine(graph, backend=args.backend, kernels=args.kernels)
+    try:
+        result = engine.run(
+            PageRank(
+                damping=args.damping,
+                mode=args.mode,
+                iterations=args.iterations,
+                eps=args.eps,
+            )
+        )
+        backend_name = engine.backend_name
+        kernels_name = engine.provider_name
+    finally:
+        engine.close()
+
+    validated = False
+    if args.validate:
+        if args.mode == "fixed":
+            from repro.baselines.weighted import pagerank_reference_fixed
+
+            reference = pagerank_reference_fixed(
+                edges.src, edges.dst, edges.num_vertices, args.damping, args.iterations
+            )
+            if not np.array_equal(result.ranks, reference):
+                mismatches = int(np.count_nonzero(result.ranks != reference))
+                raise AssertionError(
+                    f"fixed-point ranks disagree with the serial reference on "
+                    f"{mismatches} vertices"
+                )
+        else:
+            from repro.baselines.weighted import pagerank_power
+
+            reference = pagerank_power(
+                edges.src, edges.dst, edges.num_vertices, args.damping, iterations=100
+            )
+            drift = float(np.abs(result.ranks_float - reference).max())
+            if drift > 1e-3:
+                raise AssertionError(
+                    f"push-mode ranks drift {drift:.2e} from the float power "
+                    "iteration (tolerance 1e-3)"
+                )
+        validated = True
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": _graph_info(graph),
+                    "backend": backend_name,
+                    "kernels": kernels_name,
+                    "result": result.summary(),
+                    "top": [
+                        {"vertex": int(v), "rank": float(result.ranks_float[v])}
+                        for v in result.top_vertices(args.top)
+                    ],
+                    "validated": validated,
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    t = result.timing
+    print(
+        f"graph: {graph.num_vertices:,} vertices, {graph.num_directed_edges:,} edges | "
+        f"cluster {layout.notation()} | TH={threshold} | "
+        f"delegates {graph.num_delegates:,} | backend {backend_name} | "
+        f"kernels {kernels_name} | storage {getattr(graph, 'storage', 'memory')}"
+    )
+    print(
+        f"  pagerank ({args.mode}, damping {args.damping}): "
+        f"{result.iterations} sweeps, {result.total_edges_examined:,} edge "
+        f"contributions, modeled {t.elapsed_ms:.3f} ms"
+    )
+    for rank, vertex in enumerate(result.top_vertices(args.top), 1):
+        print(f"    #{rank}: vertex {int(vertex)} rank {result.ranks_float[vertex]:.6f}")
+    if validated:
+        oracle = "serial fixed-point reference" if args.mode == "fixed" else "float power iteration"
+        print(f"ranks validated against the {oracle}")
+    return 0
+
+
 def _cmd_census(args: argparse.Namespace) -> int:
     from repro.graph.degree import out_degrees
     from repro.partition.delegates import (
@@ -901,6 +1255,7 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         DynamicGraph,
         MaintainedComponents,
         MaintainedLevels,
+        MaintainedSSSP,
         update_stream,
     )
     from repro.graph.degree import out_degrees
@@ -911,11 +1266,20 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     if invalid is not None:
         return invalid
     edges = _load_graph(args)
+    if args.program == "sssp" and edges.weights is None:
+        print(
+            "error: mutate --program sssp needs a weighted graph; pass "
+            "--weights SEED (or an npz generated with `repro generate --weights`)",
+            file=sys.stderr,
+        )
+        return 2
     layout = ClusterLayout.from_notation(args.layout)
-    dynamic = DynamicGraph(edges, layout, args.threshold)
+    dynamic = DynamicGraph(
+        edges, layout, args.threshold, weights_seed=getattr(args, "weights", None) or 0
+    )
     engine = DynamicEngine(dynamic, backend=args.backend, kernels=args.kernels)
 
-    if args.program == "levels":
+    if args.program in ("levels", "sssp"):
         source = (
             args.source
             if args.source is not None
@@ -925,7 +1289,10 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
                 )[0]
             )
         )
-        maintained = MaintainedLevels(engine, source)
+        if args.program == "levels":
+            maintained = MaintainedLevels(engine, source)
+        else:
+            maintained = MaintainedSSSP(engine, source)
     else:
         source = None
         maintained = MaintainedComponents(engine)
@@ -1618,6 +1985,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command != "generate":
+        invalid = _check_weights_arg(args)
+        if invalid is not None:
+            return invalid
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "build":
@@ -1626,6 +1997,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bfs(args)
     if args.command == "components":
         return _cmd_components(args)
+    if args.command == "sssp":
+        return _cmd_sssp(args)
+    if args.command == "pagerank":
+        return _cmd_pagerank(args)
     if args.command == "census":
         return _cmd_census(args)
     if args.command == "mutate":

@@ -352,6 +352,18 @@ class TraversalEngine:
         graph = self.graph
         p = graph.num_gpus
 
+        # Driver programs (delta-stepping SSSP, PageRank, ...) own their outer
+        # loop: they orchestrate engine phases themselves and return a
+        # complete result.  Everything else runs the standard level loop.
+        if hasattr(program, "drive"):
+            return program.drive(self, init=init, overlay=overlay)
+
+        if getattr(program, "needs_weights", False) and not graph.is_weighted:
+            raise ValueError(
+                f"program {program.name!r} needs edge weights but the graph has "
+                "none; build it with weights (e.g. --weights on the generators)"
+            )
+
         if init is None:
             init = program.init_state(graph)
         state = TraversalState(
@@ -626,9 +638,15 @@ class TraversalEngine:
                 src_vals.append(state.delegate_values[arr])
         if not src_ids:
             return
-        dst, rep_ids, rep_vals, edges = overlay.propagate(
-            np.concatenate(src_ids), np.concatenate(src_vals)
-        )
+        rep_weights = None
+        if getattr(program, "needs_weights", False):
+            dst, rep_ids, rep_vals, rep_weights, edges = overlay.propagate_weighted(
+                np.concatenate(src_ids), np.concatenate(src_vals)
+            )
+        else:
+            dst, rep_ids, rep_vals, edges = overlay.propagate(
+                np.concatenate(src_ids), np.concatenate(src_vals)
+            )
         if edges == 0:
             return
         record.edges_examined["overlay"] = record.edges_examined.get("overlay", 0) + edges
@@ -644,6 +662,7 @@ class TraversalEngine:
                 discovered=dst,
                 source_ids=rep_ids,
                 source_values=rep_vals,
+                edge_weights=rep_weights,
             )
         )
         ids, vals = program.merge_remote(dst, values)
@@ -787,6 +806,9 @@ class TraversalEngine:
         pull_ok = program.direction_optimized_ok
         needs_sources = program.payload_exchange or program.delegate_channel == "values"
         mask_channel = program.delegate_channel == "mask"
+        # Weighted programs gather edge weights on every forward visit (they
+        # never pull: needs_weights implies direction_optimized_ok=False).
+        weighted = getattr(program, "needs_weights", False)
 
         frontier_d = state.delegate_frontier
         delegate_frontier_flags = np.zeros(d, dtype=bool)
@@ -818,6 +840,7 @@ class TraversalEngine:
                     backward=False,
                     queue=filter_frontier(frontier_n, deg["nn"]),
                     keep_sources=program.payload_exchange,
+                    weighted=weighted,
                 )
             ]
             normal_flags = None
@@ -865,6 +888,7 @@ class TraversalEngine:
                             backward=False,
                             queue=queue_nd,
                             keep_sources=not mask_channel,
+                            weighted=weighted,
                         )
                     )
 
@@ -893,6 +917,7 @@ class TraversalEngine:
                             backward=False,
                             queue=queue_dn,
                             keep_sources=needs_sources,
+                            weighted=weighted,
                         )
                     )
 
@@ -921,6 +946,7 @@ class TraversalEngine:
                             backward=False,
                             queue=queue_dd,
                             keep_sources=not mask_channel,
+                            weighted=weighted,
                         )
                     )
 
@@ -1030,6 +1056,7 @@ class TraversalEngine:
                     discovered=ids,
                     source_ids=src_ids,
                     source_values=src_vals,
+                    edge_weights=out.weights,
                 )
             )
             keep = program.accept(state.delegate_values[ids], vals)
@@ -1066,6 +1093,7 @@ class TraversalEngine:
                             discovered=out_nn.discovered,
                             source_ids=src_ids,
                             source_values=src_vals,
+                            edge_weights=out_nn.weights,
                         )
                     )
                 )
@@ -1102,6 +1130,7 @@ class TraversalEngine:
                             discovered=newly_local,
                             source_ids=src_ids,
                             source_values=src_vals,
+                            edge_weights=out_dn.weights,
                         )
                     )
 

@@ -37,6 +37,8 @@ __all__ = [
     "KernelOutput",
     "BatchKernelOutput",
     "forward_visit",
+    "weighted_forward_visit",
+    "contrib_visit",
     "backward_visit",
     "frontier_workload",
     "filter_frontier",
@@ -70,12 +72,23 @@ class KernelOutput:
         the early-exit scan for backward kernels.  Frontier programs that
         attach a per-discovery value (parent pointers, component labels) read
         this; level-style programs may ignore it.
+    weights:
+        Per entry of ``discovered``, the ``float64`` weight of the traversed
+        edge.  Populated only by :func:`weighted_forward_visit` (SSSP-style
+        programs whose ``needs_weights`` attribute is set); ``None``
+        otherwise.
+    values:
+        Per entry of ``discovered``, an ``int64`` value carried along the
+        edge.  Populated only by :func:`contrib_visit` (PageRank-style
+        contribution scatter); ``None`` otherwise.
     """
 
     discovered: np.ndarray
     edges_examined: int
     backward: bool
     sources: np.ndarray = None  # type: ignore[assignment]
+    weights: np.ndarray | None = None
+    values: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.sources is None:
@@ -137,6 +150,65 @@ def forward_visit(csr: CSRGraph, frontier: np.ndarray) -> KernelOutput:
         edges_examined=int(destinations.size),
         backward=False,
         sources=np.asarray(rows, dtype=np.int64),
+    )
+
+
+def weighted_forward_visit(csr: CSRGraph, frontier: np.ndarray) -> KernelOutput:
+    """Forward-push visit that also gathers the traversed edges' weights.
+
+    The weighted twin of :func:`forward_visit` for value-propagation programs
+    (SSSP relaxation): same discovered set, same workload accounting, plus a
+    ``weights`` array parallel to ``discovered``.  Requires the subgraph to
+    carry ``edge_weights``.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64).ravel()
+    if frontier.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+    rows, destinations, weights = csr.gather_neighbors_with_weights(frontier)
+    return KernelOutput(
+        discovered=np.asarray(destinations, dtype=np.int64),
+        edges_examined=int(destinations.size),
+        backward=False,
+        sources=np.asarray(rows, dtype=np.int64),
+        weights=weights,
+    )
+
+
+def contrib_visit(csr: CSRGraph, rows: np.ndarray, row_values: np.ndarray) -> KernelOutput:
+    """Contribution scatter: push one ``int64`` value per row to its neighbours.
+
+    The PageRank work-horse: every active row ``rows[i]`` sends
+    ``row_values[i]`` along each of its out-edges.  The receiver folds the
+    per-edge values with an order-free integer add, so the result is
+    bit-identical regardless of which backend, provider, or storage mode ran
+    the scatter.
+
+    Returns
+    -------
+    KernelOutput
+        ``discovered`` holds the destination ids, ``values`` the per-edge
+        contribution (the emitting row's value repeated over its out-degree),
+        and ``edges_examined`` the total out-degree of the active rows.
+    """
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    row_values = np.asarray(row_values, dtype=np.int64).ravel()
+    if rows.size != row_values.size:
+        raise ValueError("row_values must be parallel to rows")
+    if rows.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+    srcs, destinations = csr.gather_neighbors(rows)
+    if destinations.size == 0:
+        return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+    # gather_neighbors emits edges grouped by row in input order, so the
+    # per-edge value is the row's value repeated over its out-degree.
+    lengths = csr.row_offsets[rows + 1] - csr.row_offsets[rows]
+    values = np.repeat(row_values, lengths)
+    return KernelOutput(
+        discovered=np.asarray(destinations, dtype=np.int64),
+        edges_examined=int(destinations.size),
+        backward=False,
+        sources=np.asarray(srcs, dtype=np.int64),
+        values=values,
     )
 
 

@@ -119,6 +119,11 @@ class VisitContext:
     source_ids: np.ndarray | None = None
     #: Current program value of the discovering source, per entry.
     source_values: np.ndarray | None = None
+    #: Weight of the traversed edge, per entry — populated only for programs
+    #: declaring :attr:`FrontierProgram.needs_weights` on forward kernels
+    #: ("recv" contexts never carry weights: weighted programs exchange
+    #: payloads, so received values are already folded).
+    edge_weights: np.ndarray | None = None
 
 
 class FrontierProgram(ABC):
@@ -144,6 +149,12 @@ class FrontierProgram(ABC):
     #: Stop after this many super-steps even if the frontier is non-empty
     #: (``None`` = run to fixpoint).
     max_levels: int | None = None
+    #: Whether forward visits must gather the traversed edges' weights into
+    #: :attr:`VisitContext.edge_weights` (SSSP-style relaxations).  Requires
+    #: the partitioned graph to carry ``edge_weights`` and implies
+    #: forward-only traversal (``direction_optimized_ok = False``) — a
+    #: backward pull's early exit cannot pick the lightest parent edge.
+    needs_weights: bool = False
     #: Binary ufunc merging duplicate proposals for one vertex.
     combine = np.minimum
     #: Neutral element of :attr:`combine` for dense proposal arrays.

@@ -11,10 +11,11 @@ mutable without giving up the degree-separated machinery:
   increasing ``version``, delegate-set crossing tracking, and compaction
   back into clean CSR once the overlay outgrows its budget;
   :class:`DynamicEngine` runs any frontier program over CSR + overlay;
-* :mod:`repro.dynamic.incremental` — :class:`MaintainedLevels` and
-  :class:`MaintainedComponents`: keep a traversal answer current across
-  deltas by resuming the engine from a bounded repair frontier (bit-identical
-  to full recompute, at a fraction of the traversal work).
+* :mod:`repro.dynamic.incremental` — :class:`MaintainedLevels`,
+  :class:`MaintainedComponents` and :class:`MaintainedSSSP`: keep a
+  traversal answer current across deltas by resuming the engine from a
+  bounded repair frontier (bit-identical to full recompute, at a fraction
+  of the traversal work).
 
 Typical use::
 
@@ -37,7 +38,9 @@ from repro.dynamic.incremental import (
     LevelRepair,
     MaintainedComponents,
     MaintainedLevels,
+    MaintainedSSSP,
     MaintenanceStats,
+    SSSPRepair,
     seeded_init,
 )
 
@@ -50,8 +53,10 @@ __all__ = [
     "LevelRepair",
     "MaintainedComponents",
     "MaintainedLevels",
+    "MaintainedSSSP",
     "MaintenanceStats",
     "OverlayBuffer",
+    "SSSPRepair",
     "UPDATE_STYLES",
     "seeded_init",
     "update_stream",

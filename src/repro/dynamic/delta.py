@@ -55,6 +55,10 @@ class EdgeDelta:
     ----------
     insert_src, insert_dst:
         Parallel ``int64`` arrays of edges to add.
+    insert_weights:
+        Optional parallel ``float64`` weights for the inserted edges (finite,
+        non-negative).  Only meaningful against a weighted graph; when absent
+        on a weighted graph the edge-keyed deterministic weights apply.
     delete_src, delete_dst:
         Parallel ``int64`` arrays of edges to remove.
     """
@@ -63,6 +67,7 @@ class EdgeDelta:
     insert_dst: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
     delete_src: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
     delete_dst: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    insert_weights: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         ins = _as_edge_arrays(self.insert_src, self.insert_dst)
@@ -71,12 +76,20 @@ class EdgeDelta:
         object.__setattr__(self, "insert_dst", ins[1])
         object.__setattr__(self, "delete_src", dels[0])
         object.__setattr__(self, "delete_dst", dels[1])
+        if self.insert_weights is not None:
+            from repro.graph.weights import validate_weights
+
+            object.__setattr__(
+                self,
+                "insert_weights",
+                validate_weights(self.insert_weights, num_edges=ins[0].size),
+            )
 
     @classmethod
-    def inserts(cls, pairs) -> "EdgeDelta":
+    def inserts(cls, pairs, weights=None) -> "EdgeDelta":
         """A pure-insertion delta from an ``(m, 2)`` array of edge pairs."""
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        return cls(insert_src=pairs[:, 0], insert_dst=pairs[:, 1])
+        return cls(insert_src=pairs[:, 0], insert_dst=pairs[:, 1], insert_weights=weights)
 
     @classmethod
     def deletes(cls, pairs) -> "EdgeDelta":
@@ -126,6 +139,11 @@ class AppliedDelta:
     compacted: bool = False
     #: Why the compaction fired (``""`` when it did not).
     compact_reason: str = ""
+    #: Effective weights of the inserted edges (parallel to ``insert_src``)
+    #: on a weighted graph, ``None`` on an unweighted one.  Weighted
+    #: maintenance (:class:`repro.dynamic.MaintainedSSSP`) relaxes its
+    #: repair seeds from these.
+    insert_weights: np.ndarray | None = None
 
     @property
     def num_inserts(self) -> int:

@@ -56,7 +56,9 @@ class OverlayBuffer:
         self._graph = graph
         self._src = np.zeros(0, dtype=np.int64)
         self._dst = np.zeros(0, dtype=np.int64)
-        self._sorted: tuple[np.ndarray, np.ndarray] | None = None
+        # Per-edge weights ride along exactly when the clean CSR is weighted.
+        self._w = np.zeros(0, dtype=np.float64) if graph.is_weighted else None
+        self._sorted: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # Contents
@@ -90,10 +92,14 @@ class OverlayBuffer:
         )
         return assignment.edges_per_gpu()
 
-    def add(self, src: np.ndarray, dst: np.ndarray) -> None:
+    def add(self, src: np.ndarray, dst: np.ndarray, weights: np.ndarray | None = None) -> None:
         """Append directed edges (already deduplicated against the graph)."""
         if src.size == 0:
             return
+        if self._w is not None:
+            if weights is None:
+                raise ValueError("weighted overlay requires per-edge weights on add")
+            self._w = np.concatenate([self._w, np.asarray(weights, dtype=np.float64)])
         self._src = np.concatenate([self._src, src])
         self._dst = np.concatenate([self._dst, dst])
         self._sorted = None
@@ -106,42 +112,61 @@ class OverlayBuffer:
         keep = ~np.isin(mine, keys)
         self._src = self._src[keep]
         self._dst = self._dst[keep]
+        if self._w is not None:
+            self._w = self._w[keep]
         self._sorted = None
 
     def keys(self, num_vertices: int) -> np.ndarray:
         """Sorted ``src * n + dst`` keys of the resident directed edges."""
         return np.sort(self._src * np.int64(num_vertices) + self._dst)
 
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """The resident directed edges as ``(src, dst, weights-or-None)``.
+
+        Read-only copies, in insertion order; coordinator-side drivers
+        (PageRank contributions, the program zoo's edge reconstruction)
+        fold these alongside the compacted CSR so traversals of a mutable
+        graph see the union graph.
+        """
+        weights = self._w.copy() if self._w is not None else None
+        return self._src.copy(), self._dst.copy(), weights
+
     # ------------------------------------------------------------------ #
     # Frontier relaxation
     # ------------------------------------------------------------------ #
-    def _index(self) -> tuple[np.ndarray, np.ndarray]:
+    def _index(self) -> tuple:
         if self._sorted is None:
             order = np.argsort(self._src, kind="stable")
-            self._sorted = (self._src[order], self._dst[order])
+            self._sorted = (
+                self._src[order],
+                self._dst[order],
+                self._w[order] if self._w is not None else None,
+            )
         return self._sorted
 
-    def _match(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _match(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """Expand the overlay rows of the given source ids.
 
-        Returns ``(dst, src_pos, total)`` where ``dst`` lists every overlay
-        destination reachable from ``ids`` and ``src_pos[i]`` indexes the
-        ``ids`` entry that reaches ``dst[i]``.
+        Returns ``(dst, src_pos, idx, total)`` where ``dst`` lists every
+        overlay destination reachable from ``ids``, ``src_pos[i]`` indexes
+        the ``ids`` entry that reaches ``dst[i]`` and ``idx`` indexes the
+        traversed edges in the sorted overlay (for weight lookup).
         """
-        ssrc, sdst = self._index()
+        ssrc, sdst, _ = self._index()
         left = np.searchsorted(ssrc, ids, side="left")
         right = np.searchsorted(ssrc, ids, side="right")
         counts = right - left
         total = int(counts.sum())
+        z = np.zeros(0, dtype=np.int64)
         if total == 0:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 0
+            return z, z, z, 0
         hot = counts > 0
         starts = left[hot]
         lens = counts[hot]
         ends = np.cumsum(lens)
         idx = np.repeat(starts, lens) + (np.arange(total, dtype=np.int64) - np.repeat(ends - lens, lens))
         src_pos = np.repeat(np.flatnonzero(hot), lens)
-        return sdst[idx], src_pos, total
+        return sdst[idx], src_pos, idx, total
 
     def propagate(
         self, src_ids: np.ndarray, src_values: np.ndarray
@@ -155,8 +180,28 @@ class OverlayBuffer:
         if self.empty or src_ids.size == 0:
             z = np.zeros(0, dtype=np.int64)
             return z, z, z, 0
-        dst, src_pos, total = self._match(src_ids)
+        dst, src_pos, _, total = self._match(src_ids)
         return dst, src_ids[src_pos], src_values[src_pos], total
+
+    def propagate_weighted(
+        self, src_ids: np.ndarray, src_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Weighted :meth:`propagate`: also returns the traversed edge weights.
+
+        Only valid on a weighted overlay (clean CSR carries ``edge_weights``);
+        used by the engine's overlay relaxation for ``needs_weights``
+        programs.
+        """
+        if self._w is None:
+            raise ValueError(
+                "overlay carries no edge weights; the underlying graph is unweighted"
+            )
+        if self.empty or src_ids.size == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, z, np.zeros(0, dtype=np.float64), 0
+        dst, src_pos, idx, total = self._match(src_ids)
+        weights = self._sorted[2][idx]
+        return dst, src_ids[src_pos], src_values[src_pos], weights, total
 
     def propagate_batch(
         self, src_ids: np.ndarray, src_words: np.ndarray, nwords: int
@@ -172,7 +217,7 @@ class OverlayBuffer:
                 np.zeros((0, nwords), dtype=np.uint64),
                 0,
             )
-        dst, src_pos, total = self._match(src_ids)
+        dst, src_pos, _, total = self._match(src_ids)
         if total == 0:
             return dst, np.zeros((0, nwords), dtype=np.uint64), 0
         unique, inverse = np.unique(dst, return_inverse=True)
@@ -220,6 +265,7 @@ class DynamicGraph:
         max_overlay_fraction: float = 0.05,
         max_degree_crossings: int | None = None,
         partitioned: PartitionedGraph | None = None,
+        weights_seed: int = 0,
     ) -> None:
         if not isinstance(layout, ClusterLayout):
             layout = ClusterLayout.from_notation(layout)
@@ -242,6 +288,10 @@ class DynamicGraph:
         )
         self.max_overlay_fraction = float(max_overlay_fraction)
         self.max_degree_crossings = int(max_degree_crossings)
+        #: Seed of the edge-keyed weights derived for weighted insertions
+        #: that carry no explicit weight (must match the generator's
+        #: ``weights_seed`` for the derived weights to line up).
+        self.weights_seed = int(weights_seed)
         self.version = 0
         self.partition_epoch = 0
         self.compactions = 0
@@ -318,7 +368,13 @@ class DynamicGraph:
         reverse, keeping the graph symmetric as the engine requires.
         """
         n = self.num_vertices
+        weighted = self.edges.weights is not None
         ins_s, ins_d = delta.insert_src, delta.insert_dst
+        ins_w = delta.insert_weights
+        if ins_w is not None and not weighted:
+            raise ValueError(
+                "delta carries insert weights but the graph is unweighted"
+            )
         del_s, del_d = delta.delete_src, delta.delete_dst
         for arr in (ins_s, ins_d, del_s, del_d):
             if arr.size and arr.max() >= n:
@@ -326,8 +382,12 @@ class DynamicGraph:
         if symmetrize:
             ins_s, ins_d = np.concatenate([ins_s, ins_d]), np.concatenate([ins_d, ins_s])
             del_s, del_d = np.concatenate([del_s, del_d]), np.concatenate([del_d, del_s])
+            if ins_w is not None:
+                ins_w = np.concatenate([ins_w, ins_w])
         keep = ins_s != ins_d
         ins_s, ins_d = ins_s[keep], ins_d[keep]
+        if ins_w is not None:
+            ins_w = ins_w[keep]
 
         ins_keys = np.unique(ins_s * np.int64(n) + ins_d)
         ins_keys = ins_keys[~self._in_sorted(self._keys, ins_keys)]
@@ -341,15 +401,39 @@ class DynamicGraph:
         # ---- apply to the canonical edge list + degree sequence ---------- #
         new_src = ins_keys // n
         new_dst = ins_keys % n
+        new_w = None
+        if weighted:
+            if ins_w is not None and ins_w.size:
+                # Min-merge the proposal weights per directed key (duplicate
+                # proposals behave like the build-time dedup), then pick the
+                # weight of each effective insertion.
+                prop_keys = ins_s * np.int64(n) + ins_d
+                order = np.argsort(prop_keys, kind="stable")
+                sk, sw = prop_keys[order], ins_w[order]
+                starts = np.flatnonzero(
+                    np.concatenate([np.ones(1, dtype=bool), sk[1:] != sk[:-1]])
+                )
+                new_w = np.minimum.reduceat(sw, starts)[
+                    np.searchsorted(sk[starts], ins_keys)
+                ]
+            else:
+                from repro.graph.weights import edge_keyed_weights
+
+                new_w = edge_keyed_weights(new_src, new_dst, n, seed=self.weights_seed)
         src, dst = self.edges.src, self.edges.dst
+        w = self.edges.weights
         if del_keys.size:
             edge_keys = src * np.int64(n) + dst
             keep = ~np.isin(edge_keys, del_keys)
             src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
         if new_src.size:
             src = np.concatenate([src, new_src])
             dst = np.concatenate([dst, new_dst])
-        self.edges = EdgeList(src, dst, n)
+            if w is not None:
+                w = np.concatenate([w, new_w])
+        self.edges = EdgeList(src, dst, n, weights=w)
         # Both sides are sorted and unique, so the key set updates by sorted
         # merge/drop instead of union1d's full re-hash of all m keys.
         if del_keys.size:
@@ -366,7 +450,7 @@ class DynamicGraph:
             np.subtract.at(self.degrees, del_keys // n, 1)
 
         # ---- overlay bookkeeping ----------------------------------------- #
-        self.overlay.add(new_src, new_dst)
+        self.overlay.add(new_src, new_dst, new_w)
         self.overlay.remove(del_in_overlay, n)
         self.version += 1
 
@@ -390,6 +474,7 @@ class DynamicGraph:
             version=self.version,
             compacted=compacted,
             compact_reason=reason,
+            insert_weights=new_w,
         )
 
     def compact(self) -> None:

@@ -17,11 +17,15 @@ deltas carrying effective deletions fall back to a full recompute (the graph
 itself has already compacted the deletion away; see
 :class:`repro.dynamic.DynamicGraph`).
 
-:class:`MaintainedLevels` and :class:`MaintainedComponents` wrap the two
-maintained programs; both count repairs, recomputes, skipped no-op deltas
-and the modeled/examined work of every maintenance traversal, which is what
-the ``dyn-*`` bench scenarios record for the incremental-vs-recompute
-comparison.
+:class:`MaintainedLevels`, :class:`MaintainedComponents` and
+:class:`MaintainedSSSP` wrap the maintained programs; all count repairs,
+recomputes, skipped no-op deltas and the modeled/examined work of every
+maintenance traversal, which is what the ``dyn-*`` bench scenarios record
+for the incremental-vs-recompute comparison.  The SSSP maintainer extends
+the same monotone argument to weighted distances: an inserted edge
+``(u, v, w)`` can only improve ``dist[v]`` to ``dist[u] + w``, so the
+repair seeds are the endpoints the insertion actually improved and the
+repair traversal is the delta-stepping driver resumed from them.
 """
 
 from __future__ import annotations
@@ -38,14 +42,17 @@ from repro.core.state import UNVISITED
 from repro.dynamic.delta import AppliedDelta
 from repro.dynamic.graph import DynamicEngine
 from repro.partition.subgraphs import PartitionedGraph
+from repro.weighted.sssp import DeltaSteppingSSSP
 
 __all__ = [
     "seeded_init",
     "LevelRepair",
     "ComponentsRepair",
+    "SSSPRepair",
     "MaintenanceStats",
     "MaintainedLevels",
     "MaintainedComponents",
+    "MaintainedSSSP",
 ]
 
 _MAXI = np.int64(np.iinfo(np.int64).max)
@@ -141,6 +148,34 @@ class ComponentsRepair(ConnectedComponents):
     name = "components-repair"
 
     def __init__(self, values: np.ndarray, frontier: np.ndarray) -> None:
+        self._values = values
+        self._frontier = frontier
+
+    def init_state(self, graph: PartitionedGraph) -> ProgramInit:
+        return seeded_init(graph, self._values, self._frontier)
+
+
+class SSSPRepair(DeltaSteppingSSSP):
+    """Delta-stepping repair: resume the bucketed relaxation from seeds.
+
+    The delta-stepping driver is already label-correcting (any vertex whose
+    tentative distance improves re-enters the pending set), so repair needs
+    no new acceptance semantics — only a seeded initial state.  The values
+    are distance *bit patterns* (see :mod:`repro.weighted.sssp`); the
+    ``UNVISITED`` convention matches the engine's, so :func:`seeded_init`
+    scatters them unchanged.
+    """
+
+    name = "sssp-repair"
+
+    def __init__(
+        self,
+        source: int,
+        delta: float | str,
+        values: np.ndarray,
+        frontier: np.ndarray,
+    ) -> None:
+        super().__init__(source, delta=delta)
         self._values = values
         self._frontier = frontier
 
@@ -321,3 +356,64 @@ class MaintainedComponents(_Maintainer):
 
     def _repair_program(self, values: np.ndarray, frontier: np.ndarray):
         return ComponentsRepair(values, frontier)
+
+
+class MaintainedSSSP(_Maintainer):
+    """Shortest-path distances from one source, repaired across insertions.
+
+    The maintained values are the int64 distance *bit patterns* of
+    :class:`repro.weighted.SSSPResult` — the same encoding the engine folds
+    — so seeding, repair and verification all compare exactly, and the
+    repaired answer is bit-identical to a from-scratch delta-stepping run
+    on the mutated graph.  Requires a weighted dynamic graph; deltas with
+    effective deletions recompute, as for the other maintainers.
+    """
+
+    def __init__(
+        self, engine: DynamicEngine, source: int, delta: float | str = "auto"
+    ) -> None:
+        self.source = int(source)
+        self.delta = delta
+        super().__init__(engine)
+
+    def _full_run(self) -> TraversalResult:
+        return self.engine.run(DeltaSteppingSSSP(self.source, delta=self.delta))
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.result.dist_bits
+
+    @staticmethod
+    def _values_of(result: TraversalResult) -> np.ndarray:
+        return result.dist_bits
+
+    def _seed(self, applied: AppliedDelta):
+        bits = self.result.dist_bits
+        weights = applied.insert_weights
+        if weights is None:  # pragma: no cover - _full_run already rejects
+            raise ValueError("MaintainedSSSP needs a weighted dynamic graph")
+        reached = bits != UNVISITED
+        # Relax each inserted edge once in float space: unreached sources
+        # propose nothing, unreached destinations sit at +inf and accept any
+        # finite proposal.  Exactly the engine's fold arithmetic (float64
+        # add, minimum), so the seeds match what a full run would compute.
+        dist = bits.view(np.float64).copy()
+        dist[~reached] = np.inf
+        ok = reached[applied.insert_src]
+        if not np.any(ok):
+            return None
+        proposed = dist.copy()
+        np.minimum.at(
+            proposed,
+            applied.insert_dst[ok],
+            dist[applied.insert_src[ok]] + weights[ok],
+        )
+        changed = np.flatnonzero(proposed < dist)
+        if changed.size == 0:
+            return None
+        values = bits.copy()
+        values[changed] = proposed[changed].view(np.int64)
+        return values, changed
+
+    def _repair_program(self, values: np.ndarray, frontier: np.ndarray):
+        return SSSPRepair(self.source, self.delta, values, frontier)

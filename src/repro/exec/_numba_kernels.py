@@ -35,6 +35,8 @@ from numba import njit
 
 __all__ = [
     "forward_gather",
+    "weighted_forward_gather",
+    "contrib_gather",
     "backward_scan",
     "batched_forward_scatter",
     "batched_backward_pull",
@@ -63,6 +65,59 @@ def forward_gather(row_offsets, column_indices, frontier):
             sources[k] = f
             k += 1
     return discovered, sources
+
+
+@njit(nogil=True, cache=True)
+def weighted_forward_gather(row_offsets, column_indices, edge_weights, frontier):
+    """Weighted forward push: neighbour gather plus the traversed edge weights.
+
+    Returns ``(discovered, sources, weights)`` — the first two parallel int64
+    arrays exactly as :func:`forward_gather`, the third the float64 weight of
+    each gathered edge, matching ``CSRGraph.gather_neighbors_with_weights``.
+    """
+    total = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        total += row_offsets[f + 1] - row_offsets[f]
+    discovered = np.empty(total, dtype=np.int64)
+    sources = np.empty(total, dtype=np.int64)
+    weights = np.empty(total, dtype=np.float64)
+    k = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        for e in range(row_offsets[f], row_offsets[f + 1]):
+            discovered[k] = column_indices[e]
+            sources[k] = f
+            weights[k] = edge_weights[e]
+            k += 1
+    return discovered, sources, weights
+
+
+@njit(nogil=True, cache=True)
+def contrib_gather(row_offsets, column_indices, rows, row_values):
+    """Contribution scatter: per-edge int64 values repeated over out-degrees.
+
+    Returns ``(discovered, sources, values)`` — one entry per edge out of the
+    active rows, in row-then-CSR order, matching the NumPy twin
+    (:func:`repro.core.kernels.contrib_visit`).
+    """
+    total = 0
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        total += row_offsets[r + 1] - row_offsets[r]
+    discovered = np.empty(total, dtype=np.int64)
+    sources = np.empty(total, dtype=np.int64)
+    values = np.empty(total, dtype=np.int64)
+    k = 0
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        v = row_values[i]
+        for e in range(row_offsets[r], row_offsets[r + 1]):
+            discovered[k] = column_indices[e]
+            sources[k] = r
+            values[k] = v
+            k += 1
+    return discovered, sources, values
 
 
 @njit(nogil=True, cache=True)

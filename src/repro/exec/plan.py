@@ -79,6 +79,15 @@ class VisitSpec:
         programs carrying per-discovery payloads do).  Remote backends may
         drop the sources of tasks that do not need them before shipping
         outputs back — the fold never reads what it did not ask for.
+    weighted:
+        Forward tasks: gather the traversed edges' weights alongside the
+        destinations (SSSP-style relaxation; requires the subgraph to carry
+        ``edge_weights``).
+    row_values:
+        Contribution tasks (PageRank): one ``int64`` value per ``queue``
+        entry to push along the row's out-edges.  When set, the task runs
+        :meth:`~repro.exec.providers.KernelProvider.contrib_visit` instead of
+        a plain forward visit.
     """
 
     kernel: str
@@ -88,6 +97,8 @@ class VisitSpec:
     candidates: np.ndarray | None = None
     flags: str | None = None
     keep_sources: bool = True
+    weighted: bool = False
+    row_values: np.ndarray | None = None
 
 
 @dataclass
@@ -189,6 +200,10 @@ def execute_gpu_plan(
         if spec.backward:
             flags = gpu_plan.normal_flags if spec.flags == "normal" else delegate_flags
             out = provider.backward_visit(csr, spec.candidates, flags)
+        elif spec.row_values is not None:
+            out = provider.contrib_visit(csr, spec.queue, spec.row_values)
+        elif spec.weighted:
+            out = provider.weighted_forward_visit(csr, spec.queue)
         else:
             out = provider.forward_visit(csr, spec.queue)
         if strip_sources and not spec.keep_sources:

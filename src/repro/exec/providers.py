@@ -103,6 +103,19 @@ class KernelProvider(abc.ABC):
     ) -> KernelOutput:
         """Backward-pull visit with early exit and exact workload counting."""
 
+    # -- weighted / value-propagation kernels --------------------------- #
+    def weighted_forward_visit(self, csr, frontier: np.ndarray) -> KernelOutput:
+        """Forward push that also gathers the traversed edges' weights.
+
+        Concrete default (NumPy) so every provider supports weighted
+        programs; compiled providers override with a bit-exact twin.
+        """
+        return _kernels.weighted_forward_visit(csr, frontier)
+
+    def contrib_visit(self, csr, rows: np.ndarray, row_values: np.ndarray) -> KernelOutput:
+        """Contribution scatter: push one int64 value per row to its neighbours."""
+        return _kernels.contrib_visit(csr, rows, row_values)
+
     # -- batched (MS-BFS) kernels -------------------------------------- #
     @abc.abstractmethod
     def batched_filter_frontier(
@@ -226,6 +239,44 @@ class NumbaProvider(NumpyProvider):
             edges_examined=int(examined),
             backward=True,
             sources=sources,
+        )
+
+    def weighted_forward_visit(self, csr, frontier):
+        if csr.edge_weights is None:
+            # Delegate to the NumPy twin for its clear missing-weights error.
+            return _kernels.weighted_forward_visit(csr, frontier)
+        frontier = np.asarray(frontier, dtype=np.int64).ravel()
+        if frontier.size == 0:
+            return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+        discovered, sources, weights = self._jit.weighted_forward_gather(
+            csr.row_offsets, csr.column_indices, csr.edge_weights, frontier
+        )
+        return KernelOutput(
+            discovered=discovered,
+            edges_examined=int(discovered.size),
+            backward=False,
+            sources=sources,
+            weights=weights,
+        )
+
+    def contrib_visit(self, csr, rows, row_values):
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        row_values = np.asarray(row_values, dtype=np.int64).ravel()
+        if rows.size != row_values.size:
+            raise ValueError("row_values must be parallel to rows")
+        if rows.size == 0:
+            return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+        discovered, sources, values = self._jit.contrib_gather(
+            csr.row_offsets, csr.column_indices, rows, row_values
+        )
+        if discovered.size == 0:
+            return KernelOutput(np.zeros(0, dtype=np.int64), 0, backward=False)
+        return KernelOutput(
+            discovered=discovered,
+            edges_examined=int(discovered.size),
+            backward=False,
+            sources=sources,
+            values=values,
         )
 
     def batched_forward_visit(self, csr, frontier_rows, frontier_words):

@@ -45,7 +45,13 @@ def _align(offset: int, alignment: int = 8) -> int:
     return (offset + alignment - 1) & ~(alignment - 1)
 
 
-def csr_view(row_offsets: np.ndarray, column_indices: np.ndarray, num_rows: int, num_cols: int) -> CSRGraph:
+def csr_view(
+    row_offsets: np.ndarray,
+    column_indices: np.ndarray,
+    num_rows: int,
+    num_cols: int,
+    edge_weights: np.ndarray | None = None,
+) -> CSRGraph:
     """A :class:`CSRGraph` over existing buffers, skipping re-validation.
 
     The arrays were validated when the partition was built; re-running the
@@ -57,6 +63,7 @@ def csr_view(row_offsets: np.ndarray, column_indices: np.ndarray, num_rows: int,
     csr.column_indices = column_indices
     csr.num_rows = int(num_rows)
     csr.num_cols = int(num_cols)
+    csr.edge_weights = edge_weights
     return csr
 
 
@@ -164,10 +171,16 @@ def csrs_from_descriptor(cache: SegmentCache, descriptor: dict) -> dict:
     for (gpu, key), entry in descriptor["csrs"].items():
         if entry[0] == "z":
             # Compressed store entry: varint payload + byte offsets in place
-            # of a raw column array (see repro.storage.segments).
+            # of a raw column array (see repro.storage.segments).  Weighted
+            # entries append the raw weight-array offset.
             from repro.storage.codec import CompressedCSR
 
-            _, ro_off, bo_off, pl_off, pl_len, num_rows, num_edges, col_dtype, num_cols = entry
+            _, ro_off, bo_off, pl_off, pl_len, num_rows, num_edges, col_dtype, num_cols = entry[:9]
+            weights = (
+                cache.array(name, entry[9], np.float64, (num_edges,))
+                if len(entry) > 9
+                else None
+            )
             csrs[(gpu, key)] = CompressedCSR(
                 payload=cache.array(name, pl_off, np.uint8, (pl_len,)),
                 byte_offsets=cache.array(name, bo_off, np.int64, (num_rows + 1,)),
@@ -175,12 +188,18 @@ def csrs_from_descriptor(cache: SegmentCache, descriptor: dict) -> dict:
                 num_rows=int(num_rows),
                 num_cols=int(num_cols),
                 column_dtype=np.dtype(col_dtype),
+                edge_weights=weights,
             )
             continue
-        ro_off, num_rows, ci_off, num_edges, col_dtype, num_cols = entry
+        ro_off, num_rows, ci_off, num_edges, col_dtype, num_cols = entry[:6]
         row_offsets = cache.array(name, ro_off, np.int64, (num_rows + 1,))
         columns = cache.array(name, ci_off, np.dtype(col_dtype), (num_edges,))
-        csrs[(gpu, key)] = csr_view(row_offsets, columns, num_rows, num_cols)
+        weights = (
+            cache.array(name, entry[6], np.float64, (num_edges,))
+            if len(entry) > 6
+            else None
+        )
+        csrs[(gpu, key)] = csr_view(row_offsets, columns, num_rows, num_cols, weights)
     cache.derived[name] = csrs
     return csrs
 
@@ -221,7 +240,7 @@ class SharedGraphStore:
                     offset = ci_off + ci.nbytes
                     arrays.append((ro_off, ro))
                     arrays.append((ci_off, ci))
-                    entries[(g, key)] = (
+                    entry = (
                         ro_off,
                         csr.num_rows,
                         ci_off,
@@ -229,6 +248,13 @@ class SharedGraphStore:
                         ci.dtype.str,
                         csr.num_cols,
                     )
+                    if csr.edge_weights is not None:
+                        w = np.ascontiguousarray(csr.edge_weights, dtype=np.float64)
+                        w_off = _align(offset)
+                        offset = w_off + w.nbytes
+                        arrays.append((w_off, w))
+                        entry = entry + (w_off,)
+                    entries[(g, key)] = entry
             self._graph_segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
             buf = self._graph_segment.buf
             for arr_off, arr in arrays:

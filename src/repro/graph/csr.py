@@ -39,12 +39,18 @@ class CSRGraph:
         Number of source vertices (rows).
     num_cols:
         Size of the destination universe; column values must be < num_cols.
+    edge_weights:
+        Optional ``float64`` array parallel to ``column_indices`` carrying
+        per-edge weights (``None`` for unweighted graphs).  Weights ride the
+        same lexsort order as the columns, so ``edge_weights[i]`` belongs to
+        the edge stored at ``column_indices[i]``.
     """
 
     row_offsets: np.ndarray
     column_indices: np.ndarray
     num_rows: int
     num_cols: int
+    edge_weights: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.row_offsets = np.asarray(self.row_offsets, dtype=np.int64).ravel()
@@ -73,6 +79,10 @@ class CSRGraph:
                 raise ValueError(
                     f"column index out of range [0, {self.num_cols}): min={cmin}, max={cmax}"
                 )
+        if self.edge_weights is not None:
+            from repro.graph.weights import validate_weights
+
+            self.edge_weights = validate_weights(self.edge_weights, self.column_indices.size)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -86,6 +96,7 @@ class CSRGraph:
         num_cols: int,
         column_dtype: np.dtype | type = np.int64,
         sort_columns: bool = True,
+        weights: np.ndarray | None = None,
     ) -> "CSRGraph":
         """Build a CSR from parallel source/destination arrays.
 
@@ -101,6 +112,9 @@ class CSRGraph:
         sort_columns:
             Sort neighbours within each row (deterministic layout; also makes
             duplicate detection in tests cheap).
+        weights:
+            Optional per-edge weights parallel to ``src``/``dst``; reordered
+            with the columns so they stay edge-aligned.
         """
         src = np.asarray(src, dtype=np.int64).ravel()
         dst = np.asarray(dst, dtype=np.int64).ravel()
@@ -119,7 +133,13 @@ class CSRGraph:
         else:
             order = np.argsort(src, kind="stable")
         columns = dst[order].astype(column_dtype)
-        return cls(row_offsets, columns, num_rows, num_cols)
+        w = None
+        if weights is not None:
+            w = np.asarray(weights, dtype=np.float64).ravel()
+            if w.size != src.size:
+                raise ValueError("weights must be parallel to src/dst")
+            w = w[order]
+        return cls(row_offsets, columns, num_rows, num_cols, edge_weights=w)
 
     @classmethod
     def from_edgelist(cls, edges: EdgeList, column_dtype: np.dtype | type = np.int64) -> "CSRGraph":
@@ -130,6 +150,7 @@ class CSRGraph:
             num_rows=edges.num_vertices,
             num_cols=edges.num_vertices,
             column_dtype=column_dtype,
+            weights=edges.weights,
         )
 
     @classmethod
@@ -149,6 +170,7 @@ class CSRGraph:
         column_indices: np.ndarray,
         num_rows: int,
         num_cols: int,
+        edge_weights: np.ndarray | None = None,
     ) -> "CSRGraph":
         """Wrap already-validated arrays without the O(edges) invariant scan.
 
@@ -162,6 +184,7 @@ class CSRGraph:
         csr.column_indices = column_indices
         csr.num_rows = num_rows
         csr.num_cols = num_cols
+        csr.edge_weights = edge_weights
         return csr
 
     # ------------------------------------------------------------------ #
@@ -176,6 +199,11 @@ class CSRGraph:
     def column_dtype(self) -> np.dtype:
         """Dtype of the column indices (``int32`` or ``int64``)."""
         return self.column_indices.dtype
+
+    @property
+    def is_weighted(self) -> bool:
+        """``True`` when a per-edge weight array is attached."""
+        return self.edge_weights is not None
 
     def out_degrees(self) -> np.ndarray:
         """Out-degree of every row."""
@@ -233,6 +261,52 @@ class CSRGraph:
         edge_idx = starts[row_of_edge] + within
         return rows[row_of_edge], self.column_indices[edge_idx]
 
+    def gather_neighbors_with_weights(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`gather_neighbors` but also gathers the edge weights.
+
+        Returns
+        -------
+        (sources, destinations, weights):
+            Three parallel arrays; requires ``edge_weights`` to be attached.
+        """
+        if self.edge_weights is None:
+            raise ValueError(
+                "graph has no edge weights; build it with weights (e.g. "
+                "--weights on the generators) before running a weighted program"
+            )
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        if rows.size == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=self.column_dtype),
+                np.zeros(0, dtype=np.float64),
+            )
+        if rows.min() < 0 or rows.max() >= self.num_rows:
+            raise IndexError("row index out of range in gather_neighbors_with_weights")
+        starts = self.row_offsets[rows]
+        ends = self.row_offsets[rows + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=self.column_dtype),
+                np.zeros(0, dtype=np.float64),
+            )
+        out_starts = np.zeros(rows.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=out_starts[1:])
+        idx = np.arange(total, dtype=np.int64)
+        row_of_edge = np.repeat(np.arange(rows.size, dtype=np.int64), lengths)
+        within = idx - out_starts[row_of_edge]
+        edge_idx = starts[row_of_edge] + within
+        return (
+            rows[row_of_edge],
+            self.column_indices[edge_idx],
+            self.edge_weights[edge_idx],
+        )
+
     def frontier_workload(self, rows: np.ndarray) -> int:
         """Total neighbour-list length of the given rows (forward workload FV)."""
         rows = np.asarray(rows, dtype=np.int64).ravel()
@@ -243,13 +317,20 @@ class CSRGraph:
 
     def reversed(self) -> "CSRGraph":
         """Return the transpose (reverse) CSR: an edge r->c becomes c->r."""
-        src, dst = self.gather_neighbors(np.arange(self.num_rows, dtype=np.int64))
+        if self.edge_weights is not None:
+            src, dst, w = self.gather_neighbors_with_weights(
+                np.arange(self.num_rows, dtype=np.int64)
+            )
+        else:
+            src, dst = self.gather_neighbors(np.arange(self.num_rows, dtype=np.int64))
+            w = None
         return CSRGraph.from_edges(
             np.asarray(dst, dtype=np.int64),
             src,
             num_rows=self.num_cols,
             num_cols=self.num_rows,
             column_dtype=np.int32 if self.num_rows <= np.iinfo(np.int32).max else np.int64,
+            weights=w,
         )
 
     def to_scipy(self):

@@ -112,6 +112,7 @@ def friendster_like(
     isolated_fraction: float = 0.5,
     exponent: float = 2.4,
     rng: np.random.Generator | int | None = None,
+    weights_seed: int | None = None,
 ) -> EdgeList:
     """Synthetic substitute for the Friendster social graph.
 
@@ -134,7 +135,12 @@ def friendster_like(
     placement = gen.permutation(num_vertices)[:active].astype(np.int64)
     src = placement[core.src]
     dst = placement[core.dst]
-    return EdgeList(src, dst, num_vertices)
+    w = None
+    if weights_seed is not None:
+        from repro.graph.weights import edge_keyed_weights
+
+        w = edge_keyed_weights(src, dst, num_vertices, seed=weights_seed)
+    return EdgeList(src, dst, num_vertices, weights=w)
 
 
 def wdc_like(
@@ -144,6 +150,7 @@ def wdc_like(
     chain_fraction: float = 0.35,
     exponent: float = 2.2,
     rng: np.random.Generator | int | None = None,
+    weights_seed: int | None = None,
 ) -> EdgeList:
     """Synthetic substitute for the WDC 2012 hyperlink graph.
 
@@ -188,7 +195,15 @@ def wdc_like(
     src = np.concatenate(src_parts)
     dst = np.concatenate(dst_parts)
     placement = gen.permutation(num_vertices)[:active].astype(np.int64)
-    return EdgeList(placement[src], placement[dst], num_vertices)
+    psrc, pdst = placement[src], placement[dst]
+    w = None
+    if weights_seed is not None:
+        from repro.graph.weights import edge_keyed_weights
+
+        # Keyed on the *placed* ids so the chunked generator — which places
+        # before yielding — computes identical weights.
+        w = edge_keyed_weights(psrc, pdst, num_vertices, seed=weights_seed)
+    return EdgeList(psrc, pdst, num_vertices, weights=w)
 
 
 def wdc_like_edge_chunks(
@@ -199,6 +214,7 @@ def wdc_like_edge_chunks(
     exponent: float = 2.2,
     seed: int = 11,
     chunk_edges: int = 1 << 20,
+    weights_seed: int | None = None,
 ):
     """Yield WDC-like edges in bounded ``(src, dst)`` chunks.
 
@@ -226,6 +242,13 @@ def wdc_like_edge_chunks(
     total_core = int(cum[-1])
     placement = gen.permutation(num_vertices)[:active].astype(np.int64)
 
+    def emit(ps: np.ndarray, pd: np.ndarray):
+        if weights_seed is None:
+            return ps, pd
+        from repro.graph.weights import edge_keyed_weights
+
+        return ps, pd, edge_keyed_weights(ps, pd, num_vertices, seed=weights_seed)
+
     # Scale-free core: the stub expansion src = repeat(arange, degrees) is
     # sliced into edge ranges [e0, e1); searchsorted on the degree cumsum
     # recovers which vertices' stubs fall in the slice.
@@ -242,7 +265,7 @@ def wdc_like_edge_chunks(
         counts = np.minimum(cum[r0 + 1 : r1 + 1], e1) - np.maximum(cum[r0:r1], e0)
         src = np.repeat(np.arange(r0, r1, dtype=np.int64), counts)
         dst = cgen.integers(0, core_n, size=e1 - e0).astype(np.int64)
-        yield placement[src], placement[dst]
+        yield emit(placement[src], placement[dst])
 
     # Long chains: generated per chain (each at most a few thousand edges),
     # buffered up to chunk_edges, then flushed in bounded slices.
@@ -261,7 +284,7 @@ def wdc_like_edge_chunks(
             buf_src, buf_dst, buffered = [], [], 0
             for s0 in range(0, src.size, chunk_edges):
                 sl = slice(s0, s0 + chunk_edges)
-                yield placement[src[sl]], placement[dst[sl]]
+                yield emit(placement[src[sl]], placement[dst[sl]])
 
         for ci in range(num_chains):
             lo, hi = int(bounds[ci]), int(bounds[ci + 1])
@@ -282,8 +305,13 @@ def uniform_random_graph(
     num_vertices: int,
     num_edges: int,
     rng: np.random.Generator | int | None = None,
+    weights_seed: int | None = None,
 ) -> EdgeList:
-    """Erdős–Rényi-style directed multigraph: each edge endpoint uniform."""
+    """Erdős–Rényi-style directed multigraph: each edge endpoint uniform.
+
+    With ``weights_seed`` set, the result carries deterministic edge-keyed
+    weights (:func:`repro.graph.weights.edge_keyed_weights`).
+    """
     if num_vertices <= 0:
         raise ValueError("num_vertices must be positive")
     if num_edges < 0:
@@ -291,7 +319,12 @@ def uniform_random_graph(
     gen = make_rng(rng)
     src = gen.integers(0, num_vertices, size=num_edges).astype(np.int64)
     dst = gen.integers(0, num_vertices, size=num_edges).astype(np.int64)
-    return EdgeList(src, dst, num_vertices)
+    w = None
+    if weights_seed is not None:
+        from repro.graph.weights import edge_keyed_weights
+
+        w = edge_keyed_weights(src, dst, num_vertices, seed=weights_seed)
+    return EdgeList(src, dst, num_vertices, weights=w)
 
 
 def random_bipartite(

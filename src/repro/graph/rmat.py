@@ -59,6 +59,7 @@ def generate_rmat_edges(
     params: RMATParameters = RMATParameters(),
     rng: np.random.Generator | int | None = None,
     num_edges: int | None = None,
+    weights_seed: int | None = None,
 ) -> EdgeList:
     """Generate the raw directed RMAT edge list (no doubling, no hashing).
 
@@ -72,6 +73,11 @@ def generate_rmat_edges(
         Seed or generator for reproducibility.
     num_edges:
         Override the number of directed edges (default ``edge_factor * 2**scale``).
+    weights_seed:
+        When given, attach deterministic edge-keyed weights in ``[0, 1)``
+        (:func:`repro.graph.weights.edge_keyed_weights`); the weight of an
+        edge depends only on its endpoint pair and this seed, so the chunked
+        generator emits identical weights.
 
     Returns
     -------
@@ -105,7 +111,12 @@ def generate_rmat_edges(
         src = (src << 1) | row_bit
         dst = (dst << 1) | col_bit
 
-    return EdgeList(src, dst, n)
+    w = None
+    if weights_seed is not None:
+        from repro.graph.weights import edge_keyed_weights
+
+        w = edge_keyed_weights(src, dst, n, seed=weights_seed)
+    return EdgeList(src, dst, n, weights=w)
 
 
 def generate_rmat_edge_chunks(
@@ -114,6 +125,7 @@ def generate_rmat_edge_chunks(
     seed: int = 11,
     chunk_edges: int = 1 << 20,
     num_edges: int | None = None,
+    weights_seed: int | None = None,
 ):
     """Yield raw directed RMAT edges in bounded ``(src, dst)`` chunks.
 
@@ -125,6 +137,9 @@ def generate_rmat_edge_chunks(
     chunk_edges)`` — but it is a *different* (equally valid Graph500) draw
     than the single-shot generator's, because the random stream is consumed
     per chunk rather than per level across all edges.
+
+    With ``weights_seed`` set, chunks are ``(src, dst, weights)`` triples;
+    the edge-keyed weights are chunk-boundary-invariant by construction.
     """
     if scale < 0:
         raise ValueError(f"scale must be non-negative, got {scale}")
@@ -154,7 +169,12 @@ def generate_rmat_edge_chunks(
             )
             src = (src << 1) | row_bit
             dst = (dst << 1) | col_bit
-        yield src, dst
+        if weights_seed is not None:
+            from repro.graph.weights import edge_keyed_weights
+
+            yield src, dst, edge_keyed_weights(src, dst, n, seed=weights_seed)
+        else:
+            yield src, dst
 
 
 def generate_rmat(
@@ -164,6 +184,7 @@ def generate_rmat(
     hash_seed: int | None = 1,
     symmetrize: bool = True,
     deduplicate: bool = True,
+    weights_seed: int | None = None,
 ) -> EdgeList:
     """Generate a prepared Graph500 RMAT graph.
 
@@ -186,13 +207,17 @@ def generate_rmat(
         without a global traversal direction needs a symmetric graph).
     deduplicate:
         Whether to remove duplicate edges and self loops.
+    weights_seed:
+        When given, attach deterministic edge-keyed weights (shared by the
+        two directions of every undirected edge, so edge doubling and
+        deduplication preserve them exactly).
 
     Returns
     -------
     EdgeList
         The prepared (by default symmetric, duplicate-free) edge list.
     """
-    edges = generate_rmat_edges(scale, params=params, rng=rng)
+    edges = generate_rmat_edges(scale, params=params, rng=rng, weights_seed=weights_seed)
     if hash_seed is not None:
         perm = deterministic_hash_permutation(edges.num_vertices, seed=hash_seed)
         edges = edges.relabeled(perm)

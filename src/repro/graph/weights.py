@@ -1,0 +1,99 @@
+"""Edge-weight helpers: validation and deterministic weight synthesis.
+
+Delta-stepping SSSP assumes non-negative edge weights, and every weighted
+program in the zoo assumes finite ones, so :func:`validate_weights` is the
+single chokepoint both the builders and the loaders call.
+
+Synthetic graphs get their weights from :func:`edge_keyed_weights`: the weight
+of an edge is a pure function of its (unordered) endpoint pair and a seed.
+That makes weight emission *order-free* — the chunked generators, the edge
+doubling step, deduplication, and the out-of-core sort can each see the edges
+in a different order and still agree on every weight, and the two directions
+of an undirected edge always share one weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import hash64
+
+__all__ = ["validate_weights", "edge_keyed_weights"]
+
+# 53 explicit mantissa bits: (h >> 11) * 2**-53 maps a uint64 hash uniformly
+# onto [0, 1) with every value exactly representable in float64.
+_INV_2_53 = 2.0**-53
+
+
+def validate_weights(weights: np.ndarray, num_edges: int | None = None) -> np.ndarray:
+    """Coerce ``weights`` to ``float64`` and reject values SSSP cannot take.
+
+    Parameters
+    ----------
+    weights:
+        Per-edge weight array (any real dtype).
+    num_edges:
+        Expected length; mismatch raises.
+
+    Returns
+    -------
+    numpy.ndarray
+        Contiguous ``float64`` array of validated weights.
+
+    Raises
+    ------
+    ValueError
+        If any weight is negative, NaN, or infinite, or the length is wrong.
+    """
+    w = np.ascontiguousarray(weights, dtype=np.float64).ravel()
+    if num_edges is not None and w.size != int(num_edges):
+        raise ValueError(
+            f"weights has {w.size} entries, expected one per edge ({int(num_edges)})"
+        )
+    if w.size:
+        if not np.isfinite(w).all():
+            raise ValueError(
+                "edge weights must be finite (found NaN or infinity); "
+                "weighted programs require finite non-negative weights"
+            )
+        wmin = float(w.min())
+        if wmin < 0.0:
+            raise ValueError(
+                f"edge weights must be non-negative (found {wmin}); "
+                "delta-stepping SSSP assumes non-negative weights"
+            )
+    return w
+
+
+def edge_keyed_weights(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministic per-edge weights in ``[0, 1)`` keyed by endpoint pair.
+
+    ``w(u, v) == w(v, u)`` for all seeds, and the value depends only on the
+    unordered pair — not on emission order, chunk boundaries, or duplicates —
+    so every pipeline stage recomputes identical weights.
+
+    Parameters
+    ----------
+    src, dst:
+        Parallel edge-endpoint arrays.
+    num_vertices:
+        Vertex-universe size used to pack the pair key (wraparound in the
+        packing is harmless: the key is only ever hashed).
+    seed:
+        Weight-stream seed; different seeds give unrelated weights.
+    """
+    s = np.asarray(src, dtype=np.int64).ravel()
+    d = np.asarray(dst, dtype=np.int64).ravel()
+    if s.shape != d.shape:
+        raise ValueError("src and dst must have the same length")
+    lo = np.minimum(s, d).astype(np.uint64)
+    hi = np.maximum(s, d).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        keys = lo * np.uint64(max(int(num_vertices), 1)) + hi
+    h = hash64(keys, seed=seed)
+    return ((h >> np.uint64(11)).astype(np.float64)) * _INV_2_53

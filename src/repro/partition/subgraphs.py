@@ -147,6 +147,11 @@ class PartitionedGraph:
         return self.layout.num_gpus
 
     @property
+    def is_weighted(self) -> bool:
+        """``True`` when the partitioned subgraphs carry per-edge weights."""
+        return bool(self.gpus) and self.gpus[0].nn.edge_weights is not None
+
+    @property
     def num_delegates(self) -> int:
         """Number of delegate vertices ``d``."""
         return self.separation.num_delegates
@@ -193,44 +198,48 @@ def _build_gpu_partition(
 
     mine = assignment.owner == flat_gpu
     cat = assignment.category
-    src, dst = edges.src, edges.dst
+    src, dst, wts = edges.src, edges.dst, edges.weights
     p = layout.num_gpus
 
-    def pick(code: int) -> tuple[np.ndarray, np.ndarray]:
+    def pick(code: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         sel = mine & (cat == code)
-        return src[sel], dst[sel]
+        return src[sel], dst[sel], (wts[sel] if wts is not None else None)
 
     # nn: local slot -> global normal id
-    nn_s, nn_d = pick(EDGE_CATEGORIES["nn"])
+    nn_s, nn_d, nn_w = pick(EDGE_CATEGORIES["nn"])
     nn = CSRGraph.from_edges(
-        nn_s // p, nn_d, num_rows=num_local, num_cols=n, column_dtype=np.int64
+        nn_s // p, nn_d, num_rows=num_local, num_cols=n, column_dtype=np.int64,
+        weights=nn_w,
     )
     # nd: local slot -> delegate id
-    nd_s, nd_d = pick(EDGE_CATEGORIES["nd"])
+    nd_s, nd_d, nd_w = pick(EDGE_CATEGORIES["nd"])
     nd = CSRGraph.from_edges(
         nd_s // p,
         separation.delegate_id_of[nd_d],
         num_rows=num_local,
         num_cols=max(d, 1) if d else 0,
         column_dtype=np.int32,
+        weights=nd_w,
     ) if d else CSRGraph.empty(num_local, 0, column_dtype=np.int32)
     # dn: delegate id -> local slot
-    dn_s, dn_d = pick(EDGE_CATEGORIES["dn"])
+    dn_s, dn_d, dn_w = pick(EDGE_CATEGORIES["dn"])
     dn = CSRGraph.from_edges(
         separation.delegate_id_of[dn_s],
         dn_d // p,
         num_rows=d,
         num_cols=max(num_local, 1) if num_local else 0,
         column_dtype=np.int32,
+        weights=dn_w,
     ) if d else CSRGraph.empty(0, num_local, column_dtype=np.int32)
     # dd: delegate id -> delegate id
-    dd_s, dd_d = pick(EDGE_CATEGORIES["dd"])
+    dd_s, dd_d, dd_w = pick(EDGE_CATEGORIES["dd"])
     dd = CSRGraph.from_edges(
         separation.delegate_id_of[dd_s],
         separation.delegate_id_of[dd_d],
         num_rows=d,
         num_cols=max(d, 1) if d else 0,
         column_dtype=np.int32,
+        weights=dd_w,
     ) if d else CSRGraph.empty(0, 0, column_dtype=np.int32)
 
     nd_source_list = np.flatnonzero(nd.out_degrees() > 0).astype(np.int64)

@@ -35,7 +35,6 @@ SLO violations) are bit-identical across hosts and execution backends.
 from __future__ import annotations
 
 from repro.core.engine import TraversalEngine
-from repro.core.programs import BFSLevels, KHopReachability
 from repro.serve.service import QueryService
 from repro.serve.workload import Query
 
@@ -76,12 +75,7 @@ class Replica:
         the primary timeline — and with it every gated counter — is
         identical with hedging on or off.  Returns ``(result, service_ms)``.
         """
-        if query.program == "khop":
-            result = self.service.engine.run(
-                KHopReachability(source=query.source, max_hops=query.max_hops)
-            )
-        else:
-            result = self.service.engine.run(BFSLevels(source=query.source))
+        result = self.service.engine.run(query.make_program())
         return result, float(result.timing.elapsed_ms)
 
 

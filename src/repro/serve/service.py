@@ -15,9 +15,10 @@ query-serving system:
    per-source sequential runs — the before/after baseline of the serving
    benchmarks).
 3. **Result cache** — answers land in an LRU keyed by
-   ``(graph identity, graph version, options, program, source, max_hops)``
-   with hit/miss/eviction counters; on skewed traffic the cache and the
-   batching compound.  The graph identity token keeps two graphs with
+   ``(graph identity, graph version, options, program, source, params)``
+   — where *params* is every program parameter (``max_hops``, ``delta``,
+   ``damping``, ``iterations``) — with hit/miss/eviction counters; on
+   skewed traffic the cache and the batching compound.  The graph identity token keeps two graphs with
    identical options and sources from ever colliding, and the version tag
    makes every entry stale the moment the graph mutates.
 4. **Live mutation** — when the engine serves a
@@ -171,13 +172,25 @@ class QueryService:
         return (graph_token(root), int(getattr(self.engine, "graph_version", 0)))
 
     def key_of(self, query: Query) -> tuple:
-        """The cache key: graph identity/version + options + program + source."""
+        """The cache key: graph identity/version + options + program + source
+        + every program parameter (``max_hops``, ``delta``, ``damping``,
+        ``iterations``).
+
+        Parameters are part of the key because they are part of the answer:
+        an ``sssp`` result computed with one bucket width must never be
+        served to a query asking for another (the distances agree but the
+        phase/workload counters do not), and a 5-iteration pagerank is a
+        different fixpoint than a 50-iteration one.  ``pagerank`` ignores
+        its source, which is normalised to 0 here so every equivalent
+        ranking query coalesces onto one cache entry.
+        """
+        source = 0 if query.program == "pagerank" else int(query.source)
         return (
             self.graph_identity(),
             self._options_label,
             query.program,
-            int(query.source),
-            query.max_hops,
+            source,
+            *query.params,
         )
 
     @property
@@ -344,17 +357,36 @@ class QueryService:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _group_misses(misses: list[Query]) -> dict[tuple, list[Query]]:
-        """Group uncached queries into batchable families."""
+        """Group uncached queries into batchable families.
+
+        A family shares everything but the source, so a fused sweep (or a
+        shared pagerank run) answers every member with one program config.
+        """
         families: dict[tuple, list[Query]] = {}
         for query in misses:
-            families.setdefault((query.program, query.max_hops), []).append(query)
+            families.setdefault((query.program, *query.params), []).append(query)
         return families
 
     def _run_chunk(self, family: tuple, chunk: list[Query], answers: dict) -> None:
-        """Traverse one chunk of a family and record/cache its results."""
-        program, max_hops = family
+        """Traverse one chunk of a family and record/cache its results.
+
+        ``levels``/``khop`` misses go through the fused MS-BFS path when
+        batching is on.  The weighted programs carry per-vertex *values*
+        (distance bit patterns, fixed-point ranks) that the lane-bitset
+        batching cannot fuse, so ``sssp`` misses run sequentially; a
+        ``pagerank`` chunk is source-independent and collapses to a single
+        engine run shared by every member.
+        """
+        program = family[0]
+        max_hops = family[1]
         sources = [query.source for query in chunk]
-        if self.batched and len(chunk) > 1:
+        if program == "pagerank":
+            produced = [self.engine.run(chunk[0].make_program())] * len(chunk)
+            self.stats.sequential_sources += 1
+        elif program == "sssp":
+            produced = [self.engine.run(query.make_program()) for query in chunk]
+            self.stats.sequential_sources += len(chunk)
+        elif self.batched and len(chunk) > 1:
             if program == "khop":
                 batch = self.engine.run_batch(BatchedReachability(sources, max_hops))
             else:

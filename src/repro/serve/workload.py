@@ -21,25 +21,86 @@ import numpy as np
 
 from repro.utils.rng import hash64, make_rng
 
-__all__ = ["Query", "ZipfWorkload", "MixedWorkload", "zipf_ranks", "zipf_weights"]
+__all__ = [
+    "Query",
+    "QUERY_PROGRAMS",
+    "ZipfWorkload",
+    "MixedWorkload",
+    "zipf_ranks",
+    "zipf_weights",
+]
+
+
+#: Program names a query may request.
+QUERY_PROGRAMS = ("levels", "khop", "sssp", "pagerank")
 
 
 @dataclass(frozen=True)
 class Query:
-    """One client request: a single-source traversal of a named program."""
+    """One client request: a traversal of a named program.
 
-    #: Which program to run: ``"levels"`` (full BFS) or ``"khop"``.
+    ``levels`` / ``khop`` are the unweighted BFS queries; ``sssp`` runs
+    delta-stepping shortest paths (the served graph must carry edge
+    weights) and ``pagerank`` the fixed-iteration ranking (``source`` is
+    ignored — every pagerank query with the same parameters shares one
+    answer).  The per-program parameters (``max_hops``, ``delta``,
+    ``damping``, ``iterations``) are part of the service's cache key:
+    two queries that differ only in a parameter are different requests.
+    """
+
+    #: Which program to run: one of :data:`QUERY_PROGRAMS`.
     program: str
-    #: The source vertex.
+    #: The source vertex (ignored for ``pagerank``).
     source: int
-    #: Hop cap for ``khop`` queries (ignored for ``levels``).
+    #: Hop cap for ``khop`` queries.
     max_hops: int | None = None
+    #: Bucket width for ``sssp`` queries (positive float, ``"auto"`` or inf).
+    delta: float | str | None = None
+    #: Damping factor for ``pagerank`` queries (defaults to 0.85).
+    damping: float | None = None
+    #: Sweep count for ``pagerank`` queries (defaults to 20).
+    iterations: int | None = None
 
     def __post_init__(self) -> None:
-        if self.program not in ("levels", "khop"):
+        if self.program not in QUERY_PROGRAMS:
             raise ValueError(f"unknown query program {self.program!r}")
         if self.program == "khop" and (self.max_hops is None or self.max_hops < 0):
             raise ValueError("khop queries need max_hops >= 0")
+        if self.delta is not None and self.program != "sssp":
+            raise ValueError(f"delta only applies to sssp queries, not {self.program!r}")
+        if self.program != "pagerank":
+            if self.damping is not None or self.iterations is not None:
+                raise ValueError(
+                    f"damping/iterations only apply to pagerank queries, not {self.program!r}"
+                )
+        elif self.iterations is not None and self.iterations < 1:
+            raise ValueError(f"pagerank queries need iterations >= 1, got {self.iterations}")
+
+    @property
+    def params(self) -> tuple:
+        """The program parameters, as cached and batched: everything that
+        changes the answer besides ``(program, source)``."""
+        return (self.max_hops, self.delta, self.damping, self.iterations)
+
+    def make_program(self):
+        """The engine program answering this query (single-source form)."""
+        from repro.core.programs import BFSLevels, KHopReachability
+
+        if self.program == "khop":
+            return KHopReachability(source=self.source, max_hops=self.max_hops)
+        if self.program == "sssp":
+            from repro.weighted import DeltaSteppingSSSP
+
+            delta = "auto" if self.delta is None else self.delta
+            return DeltaSteppingSSSP(self.source, delta=delta)
+        if self.program == "pagerank":
+            from repro.weighted import PageRank
+
+            return PageRank(
+                damping=0.85 if self.damping is None else self.damping,
+                iterations=20 if self.iterations is None else self.iterations,
+            )
+        return BFSLevels(source=self.source)
 
 
 #: Normalised Zipf weight vectors keyed by ``(pool, skew)``.  Building one is
@@ -94,7 +155,8 @@ class ZipfWorkload:
         Drives both the popularity order (which vertex gets which rank) and
         the per-query rank draws.
     program:
-        Query program for every request (``"levels"`` or ``"khop"``).
+        Query program for every request (one of :data:`QUERY_PROGRAMS`;
+        weighted programs need the served graph built with weights).
     max_hops:
         Hop cap for ``khop`` streams.
     """
@@ -113,7 +175,7 @@ class ZipfWorkload:
             raise ValueError(f"pool must be >= 1, got {self.pool}")
         if self.skew < 0:
             raise ValueError(f"skew must be non-negative, got {self.skew}")
-        if self.program not in ("levels", "khop"):
+        if self.program not in QUERY_PROGRAMS:
             raise ValueError(f"unknown query program {self.program!r}")
         if self.program == "khop" and (self.max_hops is None or self.max_hops < 0):
             raise ValueError("khop workloads need max_hops >= 0")

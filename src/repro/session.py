@@ -158,20 +158,34 @@ class Session:
         self._built = None
         return self
 
-    def generate(self, scale: int = 14, kind: str = "rmat", seed: int = 11) -> "Session":
-        """Generate a prepared graph (RMAT or a synthetic substitute)."""
+    def generate(
+        self,
+        scale: int = 14,
+        kind: str = "rmat",
+        seed: int = 11,
+        weights: int | None = None,
+    ) -> "Session":
+        """Generate a prepared graph (RMAT or a synthetic substitute).
+
+        ``weights`` seeds deterministic edge-keyed ``float64`` weights for
+        the weighted program zoo (``None`` = unweighted).
+        """
         if kind == "rmat":
             from repro.graph.rmat import generate_rmat
 
-            edges = generate_rmat(scale, rng=seed)
+            edges = generate_rmat(scale, rng=seed, weights_seed=weights)
         elif kind == "friendster":
             from repro.graph.generators import friendster_like
 
-            edges = friendster_like(num_vertices=1 << scale, rng=seed).prepared()
+            edges = friendster_like(
+                num_vertices=1 << scale, rng=seed, weights_seed=weights
+            ).prepared()
         elif kind == "wdc":
             from repro.graph.generators import wdc_like
 
-            edges = wdc_like(num_vertices=1 << scale, rng=seed).prepared()
+            edges = wdc_like(
+                num_vertices=1 << scale, rng=seed, weights_seed=weights
+            ).prepared()
         else:
             raise ValueError(f"unknown graph kind {kind!r}")
         self._edges = edges
@@ -313,6 +327,22 @@ class Session:
     def khop(self, source: int, max_hops: int) -> TraversalResult:
         """Build (if needed) and run k-hop reachability."""
         return self.build().khop(source, max_hops)
+
+    def sssp(self, source: int, delta: float | str = "auto") -> TraversalResult:
+        """Build (if needed) and run delta-stepping SSSP."""
+        return self.build().sssp(source, delta=delta)
+
+    def pagerank(self, **kwargs) -> TraversalResult:
+        """Build (if needed) and run PageRank."""
+        return self.build().pagerank(**kwargs)
+
+    def wcc_hook(self) -> TraversalResult:
+        """Build (if needed) and run hooking connected components."""
+        return self.build().wcc_hook()
+
+    def triangles(self) -> TraversalResult:
+        """Build (if needed) and count triangles."""
+        return self.build().triangles()
 
     def campaign(self, *args, **kwargs) -> Campaign:
         """Build (if needed) and run a multi-source campaign."""
@@ -493,6 +523,44 @@ class GraphSession:
     def khop(self, source: int, max_hops: int) -> TraversalResult:
         """Distances from ``source`` capped at ``max_hops`` levels."""
         return self.run(KHopReachability(source=source, max_hops=max_hops))
+
+    def sssp(self, source: int, delta: float | str = "auto") -> TraversalResult:
+        """Shortest-path distances from ``source`` over edge weights.
+
+        Runs the delta-stepping driver (``delta="auto"`` picks the bucket
+        width from the average degree; ``delta=float("inf")`` degrades to
+        the Bellman-Ford schedule).  Requires a weighted graph — generate
+        with ``weights=<seed>`` or load a weighted edge list.
+        """
+        from repro.weighted import DeltaSteppingSSSP
+
+        return self.run(DeltaSteppingSSSP(source, delta=delta))
+
+    def pagerank(
+        self,
+        damping: float = 0.85,
+        mode: str = "fixed",
+        iterations: int = 20,
+        eps: float = 1e-7,
+    ) -> TraversalResult:
+        """Deterministic fixed-point PageRank (``"fixed"`` or ``"push"``)."""
+        from repro.weighted import PageRank
+
+        return self.run(
+            PageRank(damping=damping, mode=mode, iterations=iterations, eps=eps)
+        )
+
+    def wcc_hook(self) -> TraversalResult:
+        """Connected components by min-label hooking + pointer jumping."""
+        from repro.weighted import ComponentsHooking
+
+        return self.run(ComponentsHooking())
+
+    def triangles(self) -> TraversalResult:
+        """Exact global and per-vertex triangle counts."""
+        from repro.weighted import TriangleCount
+
+        return self.run(TriangleCount())
 
     def campaign(
         self,

@@ -123,6 +123,10 @@ class CompressedCSR:
     num_rows: int
     num_cols: int
     column_dtype: np.dtype
+    #: Optional per-edge ``float64`` weights, stored raw in encoded edge
+    #: order (per row the columns encode ascending — exactly the raw CSR's
+    #: lexsorted order, so the weight stream needs no re-permutation).
+    edge_weights: np.ndarray | None = None
 
     @property
     def num_edges(self) -> int:
@@ -134,8 +138,11 @@ class CompressedCSR:
         return np.diff(self.row_offsets)
 
     def nbytes(self) -> int:
-        """Stored bytes: payload plus both offset arrays."""
-        return int(self.payload.nbytes + self.byte_offsets.nbytes + self.row_offsets.nbytes)
+        """Stored bytes: payload, both offset arrays, and any weight stream."""
+        total = int(self.payload.nbytes + self.byte_offsets.nbytes + self.row_offsets.nbytes)
+        if self.edge_weights is not None:
+            total += int(self.edge_weights.nbytes)
+        return total
 
     def compression_ratio(self) -> float:
         """Raw column bytes divided by payload bytes (1.0 for empty rows)."""
@@ -152,10 +159,14 @@ class CompressedCSR:
         adjacency, degrees and ``edges_examined`` accounting.
         """
         rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
+        empty_w = (
+            np.zeros(0, dtype=np.float64) if self.edge_weights is not None else None
+        )
         masked = np.zeros(self.num_rows + 1, dtype=np.int64)
         if rows.size == 0:
             return CSRGraph.unchecked(
-                masked, np.zeros(0, dtype=self.column_dtype), self.num_rows, self.num_cols
+                masked, np.zeros(0, dtype=self.column_dtype), self.num_rows, self.num_cols,
+                edge_weights=empty_w,
             )
         counts = self.row_offsets[rows + 1] - self.row_offsets[rows]
         masked[rows + 1] = counts
@@ -164,7 +175,8 @@ class CompressedCSR:
         rows_nz, counts_nz = rows[live], counts[live]
         if rows_nz.size == 0:
             return CSRGraph.unchecked(
-                masked, np.zeros(0, dtype=self.column_dtype), self.num_rows, self.num_cols
+                masked, np.zeros(0, dtype=self.column_dtype), self.num_rows, self.num_cols,
+                edge_weights=empty_w,
             )
         byte_counts = self.byte_offsets[rows_nz + 1] - self.byte_offsets[rows_nz]
         total_bytes = int(byte_counts.sum())
@@ -183,7 +195,19 @@ class CompressedCSR:
         np.cumsum(counts_nz[:-1], out=seg_start[1:])
         base = cum[seg_start] - values[seg_start]
         columns = (cum - np.repeat(base, counts_nz)).astype(self.column_dtype)
-        return CSRGraph.unchecked(masked, columns, self.num_rows, self.num_cols)
+        weights = None
+        if self.edge_weights is not None:
+            # Weights are stored raw in the same per-row order the columns
+            # encode, so a positional gather aligns them with the decode.
+            raw_pos = (
+                np.arange(columns.size, dtype=np.int64)
+                - np.repeat(seg_start, counts_nz)
+                + np.repeat(self.row_offsets[rows_nz], counts_nz)
+            )
+            weights = np.asarray(self.edge_weights)[raw_pos]
+        return CSRGraph.unchecked(
+            masked, columns, self.num_rows, self.num_cols, edge_weights=weights
+        )
 
     def decode(self) -> CSRGraph:
         """Decode the full adjacency (round-trip testing and export)."""
@@ -215,6 +239,7 @@ def compress_csr(csr: CSRGraph) -> CompressedCSR:
         num_rows=csr.num_rows,
         num_cols=csr.num_cols,
         column_dtype=np.dtype(csr.column_dtype),
+        edge_weights=csr.edge_weights,
     )
 
 
@@ -245,6 +270,14 @@ class DecodingProvider(KernelProvider):
     def forward_visit(self, csr, frontier):
         """Decode the frontier rows, then run the base forward push."""
         return self._base.forward_visit(self._dense(csr, frontier), frontier)
+
+    def weighted_forward_visit(self, csr, frontier):
+        """Decode the frontier rows (weights ride along), then delegate."""
+        return self._base.weighted_forward_visit(self._dense(csr, frontier), frontier)
+
+    def contrib_visit(self, csr, rows, row_values):
+        """Decode the active rows, then run the base contribution scatter."""
+        return self._base.contrib_visit(self._dense(csr, rows), rows, row_values)
 
     def backward_visit(self, reverse_csr, candidates, parent_in_frontier):
         """Decode the candidate rows, then run the base backward pull."""

@@ -257,7 +257,15 @@ def external_build(
     perm = deterministic_hash_permutation(n, seed=hash_seed) if hash_seed is not None else None
     runs: list[Path] = []
     num_chunks = 0
-    for src, dst in chunks:
+    for chunk in chunks:
+        if len(chunk) != 2:
+            raise ValueError(
+                "external_build does not support weighted edge chunks: the "
+                "packed-key sort carries no weight stream.  Build weighted "
+                "graphs in memory (build_partitions + save_graph_store) or "
+                "drop weights_seed from the generator."
+            )
+        src, dst = chunk
         num_chunks += 1
         src = np.asarray(src, dtype=np.int64).ravel()
         dst = np.asarray(dst, dtype=np.int64).ravel()

@@ -36,6 +36,8 @@ __all__ = [
     "SEGMENT_NAME",
     "SCHEMA",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_WEIGHTED",
+    "SUPPORTED_VERSIONS",
     "SegmentWriter",
     "StoreHandle",
     "open_store",
@@ -48,6 +50,12 @@ MANIFEST_NAME = "manifest.json"
 SEGMENT_NAME = "graph.bin"
 SCHEMA = "repro.storage"
 SCHEMA_VERSION = 1
+#: Weighted stores carry per-edge weight arrays older readers cannot see;
+#: they are written as version 2 so a weight-ignorant build fails with a
+#: clear versioned error instead of silently traversing an unweighted view.
+#: Unweighted stores stay version 1, byte-identical to earlier builds.
+SCHEMA_VERSION_WEIGHTED = 2
+SUPPORTED_VERSIONS = (SCHEMA_VERSION, SCHEMA_VERSION_WEIGHTED)
 
 #: The four per-GPU subgraphs, in their fixed on-disk order.
 CSR_KEYS = ("nn", "nd", "dn", "dd")
@@ -118,12 +126,12 @@ class SegmentWriter:
         self.arrays[name] = {"offset": offset, "dtype": dtype.name, "shape": [count]}
         return count
 
-    def finish(self, metadata: dict) -> None:
+    def finish(self, metadata: dict, version: int = SCHEMA_VERSION) -> None:
         """Close the segment and write ``manifest.json``."""
         self._fh.close()
         manifest = {
             "schema": SCHEMA,
-            "version": SCHEMA_VERSION,
+            "version": int(version),
             "arrays": self.arrays,
         }
         manifest.update(metadata)
@@ -145,10 +153,10 @@ class StoreHandle:
             self.manifest = json.load(fh)
         if self.manifest.get("schema") != SCHEMA:
             raise ValueError(f"{manifest_path} has schema {self.manifest.get('schema')!r}")
-        if self.manifest.get("version") != SCHEMA_VERSION:
+        if self.manifest.get("version") not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported store version {self.manifest.get('version')!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         self.segment_path = self.directory / SEGMENT_NAME
         self._file = open(self.segment_path, "rb")
@@ -219,6 +227,8 @@ def _csr_meta(name: str, csr) -> dict:
         "dtype": np.dtype(csr.column_dtype).name,
         "kind": "compressed" if isinstance(csr, CompressedCSR) else "raw",
     }
+    if getattr(csr, "edge_weights", None) is not None:
+        meta["weighted"] = True
     return meta
 
 
@@ -261,6 +271,10 @@ def save_graph_store(
                 writer.add(f"{prefix}.pl", stored.payload)
             else:
                 writer.add(f"{prefix}.ci", stored.column_indices)
+            if getattr(stored, "edge_weights", None) is not None:
+                writer.add(
+                    f"{prefix}.w", np.asarray(stored.edge_weights, dtype=np.float64)
+                )
         writer.add(f"g{g}.local_is_normal", part.local_is_normal)
         writer.add(f"g{g}.nd_source_list", part.nd_source_list)
         writer.add(f"g{g}.dn_source_mask", part.dn_source_mask)
@@ -276,7 +290,8 @@ def save_graph_store(
             "num_directed_edges": int(graph.num_directed_edges),
             "census": _census_metadata(graph.census),
             "gpus": gpus_meta,
-        }
+        },
+        version=SCHEMA_VERSION_WEIGHTED if graph.is_weighted else SCHEMA_VERSION,
     )
     return directory
 
@@ -284,6 +299,7 @@ def save_graph_store(
 def _load_csr(handle: StoreHandle, g: int, key: str, meta: dict):
     prefix = f"g{g}.{key}"
     ro = handle.array(f"{prefix}.ro")
+    weights = handle.array(f"{prefix}.w") if meta.get("weighted") else None
     if meta["kind"] == "compressed":
         return CompressedCSR(
             payload=handle.array(f"{prefix}.pl"),
@@ -292,9 +308,14 @@ def _load_csr(handle: StoreHandle, g: int, key: str, meta: dict):
             num_rows=meta["num_rows"],
             num_cols=meta["num_cols"],
             column_dtype=np.dtype(meta["dtype"]),
+            edge_weights=weights,
         )
     return CSRGraph.unchecked(
-        ro, handle.array(f"{prefix}.ci"), meta["num_rows"], meta["num_cols"]
+        ro,
+        handle.array(f"{prefix}.ci"),
+        meta["num_rows"],
+        meta["num_cols"],
+        edge_weights=weights,
     )
 
 
@@ -371,6 +392,11 @@ def store_graph_descriptor(directory: str | Path) -> dict:
             cmeta = meta["csrs"][key]
             prefix = f"g{g}.{key}"
             ro_off = handle.array_offset(f"{prefix}.ro")
+            # Weighted subgraphs append the weight-array offset; readers key
+            # off the entry length, so unweighted descriptors are unchanged.
+            w_tail = (
+                (handle.array_offset(f"{prefix}.w"),) if cmeta.get("weighted") else ()
+            )
             if cmeta["kind"] == "compressed":
                 compressed = True
                 entries[(g, key)] = (
@@ -383,7 +409,7 @@ def store_graph_descriptor(directory: str | Path) -> dict:
                     cmeta["num_edges"],
                     cmeta["dtype"],
                     cmeta["num_cols"],
-                )
+                ) + w_tail
             else:
                 entries[(g, key)] = (
                     ro_off,
@@ -392,7 +418,7 @@ def store_graph_descriptor(directory: str | Path) -> dict:
                     cmeta["num_edges"],
                     cmeta["dtype"],
                     cmeta["num_cols"],
-                )
+                ) + w_tail
     return {
         "segment": f"file://{handle.segment_path}",
         "csrs": entries,

@@ -247,7 +247,7 @@ class TestRegistry:
         thresholds = {s.threshold for s in REGISTRY}
         assert programs == {
             "levels", "parents", "components", "khop", "serve", "serve_cluster",
-            "dynamic", "build",
+            "dynamic", "build", "sssp", "pagerank", "wcc_hook", "triangles",
         }
         assert kinds == {"rmat", "uniform", "wdc"}
         assert {"DO+BR", "plain+BR", "DO+IR", "DO+L+U+BR"} <= options

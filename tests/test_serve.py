@@ -613,3 +613,78 @@ class TestCLI:
             main(["bench", "compare", str(old), str(drift), "--fail-on", "counters"]) == 1
         )
         capsys.readouterr()
+
+
+# --------------------------------------------------------------------------- #
+# Weighted queries (sssp / pagerank) through the service
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def weighted_engine(small_layout):
+    from repro.graph.rmat import generate_rmat
+
+    edges = generate_rmat(10, rng=1, weights_seed=5)
+    return TraversalEngine(build_partitions(edges, small_layout, threshold=16))
+
+
+class TestWeightedQueries:
+    def test_sssp_answers_match_direct_engine_runs(self, weighted_engine):
+        from repro.weighted import DeltaSteppingSSSP
+
+        service = QueryService(weighted_engine, batch_size=4, cache_size=16)
+        for source in (0, 7, 200):
+            result = service.query(Query("sssp", source))
+            direct = weighted_engine.run(DeltaSteppingSSSP(source, delta="auto"))
+            np.testing.assert_array_equal(result.dist_bits, direct.dist_bits)
+
+    def test_pagerank_answers_match_direct_engine_runs(self, weighted_engine):
+        from repro.weighted import PageRank
+
+        service = QueryService(weighted_engine, batch_size=4, cache_size=16)
+        result = service.query(Query("pagerank", 0, iterations=8))
+        direct = weighted_engine.run(PageRank(iterations=8))
+        np.testing.assert_array_equal(result.ranks, direct.ranks)
+
+    def test_parameters_are_part_of_the_cache_key(self, weighted_engine):
+        service = QueryService(weighted_engine, batch_size=4, cache_size=16)
+        narrow = service.query(Query("sssp", 3, delta=0.25))
+        wide = service.query(Query("sssp", 3, delta=float("inf")))
+        assert narrow is not wide  # same source, different delta: two entries
+        assert service.stats.traversals == 2
+        again = service.query(Query("sssp", 3, delta=0.25))
+        assert again is narrow
+        assert service.cache.stats.hits == 1
+
+    def test_pagerank_coalesces_across_sources(self, weighted_engine):
+        service = QueryService(weighted_engine, batch_size=8, cache_size=16)
+        for source in (0, 5, 9, 100):
+            service.submit(Query("pagerank", source, iterations=6))
+        results = service.flush()
+        # Ranking is source-free: four queries, one traversal, one answer.
+        assert all(r is results[0] for r in results)
+        assert service.stats.traversals == 1
+        distinct = service.query(Query("pagerank", 0, iterations=7))
+        assert distinct is not results[0]
+        assert service.stats.traversals == 2
+
+    def test_sssp_queries_run_sequentially_not_batched(self, weighted_engine):
+        service = QueryService(weighted_engine, batch_size=8, cache_size=16)
+        for source in (1, 2, 3):
+            service.submit(Query("sssp", source))
+        results = service.flush()
+        assert len(results) == 3
+        assert service.stats.traversals == 3
+        assert service.stats.sequential_sources >= 3
+
+    def test_sssp_on_unweighted_graph_rejected(self, engine):
+        service = QueryService(engine, batch_size=4, cache_size=16)
+        service.submit(Query("sssp", 0))
+        with pytest.raises(ValueError, match="weights"):
+            service.flush()
+
+    def test_query_parameter_validation(self):
+        with pytest.raises(ValueError, match="delta"):
+            Query("levels", 0, delta=0.5)
+        with pytest.raises(ValueError, match="iterations"):
+            Query("pagerank", 0, iterations=0)
+        with pytest.raises(ValueError, match="damping|pagerank"):
+            Query("khop", 0, max_hops=2, damping=0.9)
