@@ -55,12 +55,20 @@ class ScenarioDelta:
             return None
         return self.new_wall_s / self.old_wall_s
 
+    @property
+    def wall_delta_s(self) -> float | None:
+        """new - old gate-phase wall seconds (``None`` when either side is absent)."""
+        if self.old_wall_s is None or self.new_wall_s is None:
+            return None
+        return self.new_wall_s - self.old_wall_s
+
     def as_dict(self) -> dict:
         return {
             "name": self.name,
             "status": self.status,
             "old_wall_s": self.old_wall_s,
             "new_wall_s": self.new_wall_s,
+            "wall_delta_s": self.wall_delta_s,
             "ratio": self.ratio,
             "note": self.note,
         }
@@ -112,6 +120,12 @@ class CompareReport:
             "regressions": len(self.regressions),
             "improvements": len(self.improvements),
             "counter_drifts": len(self.counter_drifts),
+            # Names + first divergence per drifting scenario, so CI logs and
+            # scripts can name the offenders without walking `scenarios`.
+            "counter_drift_scenarios": [
+                {"name": d.name, "note": d.note} for d in self.counter_drifts
+            ],
+            "regression_scenarios": [d.name for d in self.regressions],
             "scenarios": [d.as_dict() for d in self.deltas],
         }
 

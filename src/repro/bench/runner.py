@@ -38,7 +38,7 @@ from repro.partition.layout import ClusterLayout
 from repro.partition.subgraphs import build_partitions
 from repro.utils.rng import hash64
 from repro.utils.rss import max_rss_mb
-from repro.utils.timing import Timer, TimingBreakdown
+from repro.utils.timing import Timer, TimingBreakdown, now_s
 
 __all__ = [
     "BenchDeterminismError",
@@ -469,8 +469,6 @@ def run_dynamic_scenario(
     so a ``--dyn-recompute`` artifact and a default artifact of the same
     scenario differ purely in maintenance strategy.
     """
-    import time
-
     from repro.dynamic.graph import DynamicEngine, DynamicGraph
     from repro.dynamic.incremental import MaintainedComponents, MaintainedLevels
 
@@ -516,14 +514,14 @@ def run_dynamic_scenario(
             apply_wall = 0.0
             checksum = 0
             for i, delta in enumerate(stream):
-                apply_started = time.perf_counter()
+                apply_started = now_s()
                 applied = engine.apply_delta(delta)
-                apply_wall += time.perf_counter() - apply_started
+                apply_wall += now_s() - apply_started
                 inserts += applied.num_inserts
                 deletes += applied.num_deletes
-                update_started = time.perf_counter()
+                update_started = now_s()
                 repaired = maintained.update(applied)
-                repair_wall += time.perf_counter() - update_started
+                repair_wall += now_s() - update_started
                 fresh = maintained.verify()  # raises on any divergence
                 recompute_wall += float(fresh.wall_s["traversal"])
                 recompute_edges += int(fresh.total_edges_examined)
@@ -1015,8 +1013,13 @@ def run_suite(
         that actually ran is recorded per record, never in the spec.
         Mutating scenarios pin memory regardless.
     """
+    from repro.obs.summary import summarize_events
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
     records: dict[str, dict] = {}
     for spec in specs:
+        mark = len(tracer.events) if tracer.enabled else 0
         record = run_scenario(
             spec,
             repeats=repeats,
@@ -1027,6 +1030,10 @@ def run_suite(
             kernels=kernels,
             storage=storage,
         )
+        if tracer.enabled:
+            # The trace section is diagnostic, never gated: bench compare
+            # ignores it, so traced and untraced artifacts stay comparable.
+            record["trace"] = summarize_events(tracer.events[mark:])
         records[spec.name] = record
         if on_record is not None:
             on_record(spec.name, record)

@@ -48,6 +48,13 @@ downstream user needs without writing Python:
     the sequential baseline, reporting queries/second for both; with
     ``--update-rate`` the stream mixes in edge-update batches served through
     a mutable graph with epoch-bump cache invalidation.
+``python -m repro.cli trace``
+    Inspect traces: ``trace summarize`` aggregates a trace written by
+    ``--trace PATH`` (or ``$REPRO_TRACE``) into per-span totals.  The
+    traversal and serving subcommands plus ``bench run`` accept ``--trace``;
+    a ``.jsonl`` suffix writes line-delimited events, anything else writes
+    Chrome ``trace_event`` JSON loadable in Perfetto.  Tracing never changes
+    results or gated counters — only wall clock, within noise.
 ``python -m repro.cli mutate``
     The dynamic-graph subsystem: apply a deterministic update stream to a
     mutable graph while incrementally maintaining a traversal answer
@@ -82,7 +89,9 @@ results are bit-identical.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -172,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(bfs)
     _add_kernels_arg(bfs)
     _add_storage_arg(bfs)
+    _add_trace_arg(bfs)
     bfs.add_argument(
         "--algorithm",
         choices=["levels", "parents"],
@@ -206,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(sssp)
     _add_kernels_arg(sssp)
     _add_storage_arg(sssp)
+    _add_trace_arg(sssp)
     sssp.add_argument("--sources", type=int, default=3, help="number of random sources")
     sssp.add_argument("--source", type=int, default=None, help="explicit source vertex")
     sssp.add_argument(
@@ -231,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(pr)
     _add_kernels_arg(pr)
     _add_storage_arg(pr)
+    _add_trace_arg(pr)
     pr.add_argument("--damping", type=float, default=0.85, help="damping factor in (0, 1)")
     pr.add_argument(
         "--mode",
@@ -373,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         "spec (default: $REPRO_STORAGE or memory; dynamic/serve-with-update "
         "scenarios pin memory and record what actually ran)",
     )
+    _add_trace_arg(b_run)
 
     b_cmp = bench_sub.add_parser("compare", help="diff two BENCH artifacts (perf gate)")
     b_cmp.add_argument(
@@ -508,7 +521,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency objective in ms for the SLO-violation counter "
         "(open-loop only; default off)",
     )
+    _add_trace_arg(s_bench)
+    s_bench.add_argument(
+        "--prom",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the serving stats snapshot as Prometheus text exposition "
+        "format to PATH after the replay",
+    )
     s_bench.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    trace = sub.add_parser(
+        "trace", help="inspect traces written by --trace / $REPRO_TRACE"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    t_sum = trace_sub.add_parser(
+        "summarize", help="aggregate a trace into per-span duration totals"
+    )
+    t_sum.add_argument("path", type=Path, help="trace file (.jsonl or Chrome JSON)")
+    t_sum.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     return parser
 
@@ -573,6 +605,47 @@ def _add_storage_arg(sub: argparse.ArgumentParser) -> None:
         "a compressed store with lazy row decode; identical results "
         "(default: $REPRO_STORAGE or memory)",
     )
+
+
+def _add_trace_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record a trace of the run: a .jsonl suffix writes line-delimited "
+        "events, anything else Chrome trace_event JSON (Perfetto-loadable); "
+        "results and gated counters are unchanged "
+        "(default: $REPRO_TRACE when set)",
+    )
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace):
+    """Install a process-wide tracer for the command when one was requested.
+
+    ``--trace PATH`` wins; ``$REPRO_TRACE`` is the ambient fallback so CI and
+    wrappers can trace without threading a flag through.  On exit the trace
+    is exported (format by suffix) and the previous tracer restored; with
+    neither source set this is a no-op and the null tracer stays installed.
+    """
+    path = getattr(args, "trace", None)
+    if path is None:
+        env = os.environ.get("REPRO_TRACE", "")
+        path = Path(env) if env else None
+    if path is None:
+        yield
+        return
+    from repro.obs import Tracer, set_tracer, write_trace
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield
+    finally:
+        set_tracer(previous)
+        out = write_trace(tracer, path)
+        print(f"trace: {len(tracer.events)} events -> {out}", file=sys.stderr)
 
 
 def _exec_args_error(args: argparse.Namespace) -> str | None:
@@ -1753,6 +1826,9 @@ def _cmd_serve_bench_cluster(args: argparse.Namespace) -> int:
     finally:
         pool.close()
 
+    if args.prom is not None:
+        _write_prometheus(snap, args.prom)
+
     counters, cluster = snap["counters"], snap["cluster"]
     if args.json:
         print(
@@ -1936,6 +2012,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if engine is not None:
             engine.close()
 
+    if args.prom is not None:
+        _write_prometheus(batched.stats_snapshot(), args.prom)
+
     if args.json:
         out = {
             "graph": _graph_info(graph),
@@ -1982,13 +2061,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command != "generate":
-        invalid = _check_weights_arg(args)
-        if invalid is not None:
-            return invalid
+def _write_prometheus(snapshot: dict, path: Path) -> None:
+    """Write ``snapshot`` as Prometheus text exposition format to ``path``."""
+    from repro.obs import prometheus_text
+
+    path.write_text(prometheus_text(snapshot))
+    print(f"prometheus: wrote {path}", file=sys.stderr)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        return _cmd_trace_summarize(args)
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")  # pragma: no cover
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, summarize_events, summary_lines
+
+    try:
+        events = load_trace(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"trace: {args.path}")
+    for line in summary_lines(summary):
+        print(line)
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed namespace to its command handler."""
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "build":
@@ -2009,7 +2115,20 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command != "generate":
+        invalid = _check_weights_arg(args)
+        if invalid is not None:
+            return invalid
+    with _tracing(args):
+        return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,8 +56,6 @@ original hardwired implementation.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.cluster.comm import Communicator
@@ -87,13 +85,26 @@ from repro.exec.plan import (
 from repro.exec.providers import resolve_provider
 from repro.partition.subgraphs import PartitionedGraph
 from repro.utils.bitmask import BatchBitmask, Bitmask
-from repro.utils.timing import TimingBreakdown
+from repro.obs.tracer import get_tracer
+from repro.utils.timing import TimingBreakdown, now_s
 
 __all__ = ["TraversalEngine", "DistributedBFS"]
 
 #: Default lane count per batched sweep when ``run_many`` routes through the
 #: batched path; wider batches amortize better but grow the lane words.
 DEFAULT_BATCH_SIZE = 32
+
+
+def _plan_pulls(plan) -> int:
+    """How many of a plan's visit tasks run backward (the direction decision).
+
+    Recorded as a ``plan+direction`` span argument when tracing is on: 0
+    means an all-forward-push step, higher counts mean direction
+    optimization switched subgraph quadrants to backward-pull.
+    """
+    return sum(
+        1 for gp in plan.gpu_plans for spec in gp.visits if spec.backward
+    )
 
 
 def _program_dedup_key(program) -> tuple | None:
@@ -396,7 +407,8 @@ class TraversalEngine:
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
         backend = self.backend
         overlay_live = overlay is not None and not overlay.empty
-        run_started = time.perf_counter()
+        tracer = get_tracer()
+        run_started = now_s()
 
         while not state.frontier_empty():
             if program.max_levels is not None and level >= program.max_levels:
@@ -409,14 +421,33 @@ class TraversalEngine:
                 )
             if overlay_live:
                 pre_frontier = self._capture_frontier(state)
-            plan_started = time.perf_counter()
+            plan_started = now_s()
             plan = self._plan_super_step(program, state, communicator, dir_states, level, wall)
-            wall["kernels"] += time.perf_counter() - plan_started
+            plan_done = now_s()
+            wall["kernels"] += plan_done - plan_started
+            if tracer.enabled:
+                tracer.record_span(
+                    "plan+direction", cat="engine", start=plan_started,
+                    dur=plan_done - plan_started,
+                    args={"level": level, "pulls": _plan_pulls(plan)},
+                )
             record = backend.run_super_step(plan)
             if overlay_live:
-                relax_started = time.perf_counter()
+                relax_started = now_s()
                 self._overlay_relax(program, state, overlay, pre_frontier, level, record)
-                wall["kernels"] += time.perf_counter() - relax_started
+                relax_done = now_s()
+                wall["kernels"] += relax_done - relax_started
+                if tracer.enabled:
+                    tracer.record_span(
+                        "overlay-relax", cat="engine", start=relax_started,
+                        dur=relax_done - relax_started, args={"level": level},
+                    )
+            if tracer.enabled:
+                tracer.record_span(
+                    "super-step", cat="engine", start=plan_started,
+                    dur=now_s() - plan_started,
+                    args={"level": level, "program": program.name},
+                )
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -427,7 +458,12 @@ class TraversalEngine:
             timing.per_iteration.append(record)
 
         timing.iterations = len(records)
-        wall["traversal"] = time.perf_counter() - run_started
+        wall["traversal"] = now_s() - run_started
+        if tracer.enabled:
+            tracer.record_span(
+                "traversal", cat="engine", start=run_started, dur=wall["traversal"],
+                args={"program": program.name, "iterations": len(records)},
+            )
         base = {
             "iterations": len(records),
             "records": records,
@@ -547,7 +583,8 @@ class TraversalEngine:
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
         backend = self.backend
         overlay_live = overlay is not None and not overlay.empty
-        run_started = time.perf_counter()
+        tracer = get_tracer()
+        run_started = now_s()
 
         while not state.frontier_empty():
             if program.max_levels is not None and level >= program.max_levels:
@@ -560,18 +597,37 @@ class TraversalEngine:
                 )
             if overlay_live:
                 pre_frontier = self._capture_batched_frontier(state)
-            plan_started = time.perf_counter()
+            plan_started = now_s()
             plan = self._plan_batched_super_step(
                 program, state, communicator, dir_states, level, full_words, wall
             )
-            wall["kernels"] += time.perf_counter() - plan_started
+            plan_done = now_s()
+            wall["kernels"] += plan_done - plan_started
+            if tracer.enabled:
+                tracer.record_span(
+                    "plan+direction", cat="engine", start=plan_started,
+                    dur=plan_done - plan_started,
+                    args={"level": level, "pulls": _plan_pulls(plan)},
+                )
             record = backend.run_super_step(plan)
             if overlay_live:
-                relax_started = time.perf_counter()
+                relax_started = now_s()
                 self._overlay_relax_batched(
                     program, state, overlay, pre_frontier, level, full_words, record
                 )
-                wall["kernels"] += time.perf_counter() - relax_started
+                relax_done = now_s()
+                wall["kernels"] += relax_done - relax_started
+                if tracer.enabled:
+                    tracer.record_span(
+                        "overlay-relax", cat="engine", start=relax_started,
+                        dur=relax_done - relax_started, args={"level": level},
+                    )
+            if tracer.enabled:
+                tracer.record_span(
+                    "super-step", cat="engine", start=plan_started,
+                    dur=now_s() - plan_started,
+                    args={"level": level, "program": program.name, "width": width},
+                )
             records.append(record)
             total_edges += record.total_edges_examined()
             timing.computation += record.computation_s * 1e3
@@ -582,7 +638,16 @@ class TraversalEngine:
             timing.per_iteration.append(record)
 
         timing.iterations = len(records)
-        wall["traversal"] = time.perf_counter() - run_started
+        wall["traversal"] = now_s() - run_started
+        if tracer.enabled:
+            tracer.record_span(
+                "traversal", cat="engine", start=run_started, dur=wall["traversal"],
+                args={
+                    "program": program.name,
+                    "iterations": len(records),
+                    "width": width,
+                },
+            )
         base = {
             "iterations": len(records),
             "records": records,
@@ -1008,7 +1073,8 @@ class TraversalEngine:
         fresh_from_dn: list[np.ndarray] = []
         per_gpu_comp = np.zeros(p, dtype=np.float64)
         edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        fold_started = time.perf_counter()
+        tracer = get_tracer()
+        fold_started = now_s()
 
         def source_info(g: int, kernel: str, out: KernelOutput):
             """Global ids and program values of a kernel's discovering sources."""
@@ -1152,8 +1218,13 @@ class TraversalEngine:
         # ------------------------------------------------------------------ #
         # Communication stage
         # ------------------------------------------------------------------ #
-        exchange_started = time.perf_counter()
+        exchange_started = now_s()
         wall["kernels"] += exchange_started - fold_started
+        if tracer.enabled:
+            tracer.record_span(
+                "fold", cat="engine", start=fold_started,
+                dur=exchange_started - fold_started, args={"level": level},
+            )
         exchange = communicator.exchange_normals(
             nn_outboxes,
             local_all2all=opts.local_all2all,
@@ -1185,8 +1256,13 @@ class TraversalEngine:
                 state.normal_frontiers[g] = np.zeros(0, dtype=np.int64)
             discovered += int(state.normal_frontiers[g].size)
 
-        reduce_started = time.perf_counter()
+        reduce_started = now_s()
         wall["exchange"] += reduce_started - exchange_started
+        if tracer.enabled:
+            tracer.record_span(
+                "nn-exchange", cat="engine", start=exchange_started,
+                dur=reduce_started - exchange_started, args={"level": level},
+            )
         if mask_channel:
             delegate_reduce_needed = any(mask.any() for mask in out_masks)
         else:
@@ -1220,7 +1296,13 @@ class TraversalEngine:
             fresh_delegates = np.zeros(0, dtype=np.int64)
         state.delegate_frontier = fresh_delegates
         discovered += int(fresh_delegates.size)
-        wall["delegate_reduce"] += time.perf_counter() - reduce_started
+        reduce_done = now_s()
+        wall["delegate_reduce"] += reduce_done - reduce_started
+        if tracer.enabled:
+            tracer.record_span(
+                "delegate-reduce", cat="engine", start=reduce_started,
+                dur=reduce_done - reduce_started, args={"level": level},
+            )
 
         # ------------------------------------------------------------------ #
         # Modeled timing for this super-step
@@ -1477,7 +1559,8 @@ class TraversalEngine:
         fresh_dn_words: list[np.ndarray] = []
         per_gpu_comp = np.zeros(p, dtype=np.float64)
         edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        fold_started = time.perf_counter()
+        tracer = get_tracer()
+        fold_started = now_s()
 
         def propose_delegates(update: BatchBitmask, out) -> None:
             """Fold a kernel's delegate discoveries into this GPU's update,
@@ -1550,8 +1633,13 @@ class TraversalEngine:
         # ------------------------------------------------------------------ #
         # Communication stage
         # ------------------------------------------------------------------ #
-        exchange_started = time.perf_counter()
+        exchange_started = now_s()
         wall["kernels"] += exchange_started - fold_started
+        if tracer.enabled:
+            tracer.record_span(
+                "fold", cat="engine", start=fold_started,
+                dur=exchange_started - fold_started, args={"level": level},
+            )
         exchange = communicator.exchange_batch(outboxes, outbox_words)
         discovered = 0
         for g in range(p):
@@ -1585,8 +1673,13 @@ class TraversalEngine:
                 state.frontier_n_words[g] = np.zeros((0, nwords), dtype=np.uint64)
             discovered += int(state.frontier_n_rows[g].size)
 
-        reduce_started = time.perf_counter()
+        reduce_started = now_s()
         wall["exchange"] += reduce_started - exchange_started
+        if tracer.enabled:
+            tracer.record_span(
+                "nn-exchange", cat="engine", start=exchange_started,
+                dur=reduce_started - exchange_started, args={"level": level},
+            )
         delegate_reduce_needed = any(mask.any() for mask in update_masks)
         reduce_local_s = 0.0
         reduce_global_s = 0.0
@@ -1608,7 +1701,13 @@ class TraversalEngine:
             state.frontier_d_rows = np.zeros(0, dtype=np.int64)
             state.frontier_d_words = np.zeros((0, nwords), dtype=np.uint64)
         discovered += int(state.frontier_d_rows.size)
-        wall["delegate_reduce"] += time.perf_counter() - reduce_started
+        reduce_done = now_s()
+        wall["delegate_reduce"] += reduce_done - reduce_started
+        if tracer.enabled:
+            tracer.record_span(
+                "delegate-reduce", cat="engine", start=reduce_started,
+                dur=reduce_done - reduce_started, args={"level": level},
+            )
 
         computation_s = float(per_gpu_comp.max()) if p else 0.0
         local_comm_s = exchange.local_time_s + reduce_local_s

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import abc
 import os
-import time
 
 from repro.exec.plan import (
     SuperStepPlan,
     execute_batched_gpu_plan,
     execute_gpu_plan,
+    worker_spans,
 )
+from repro.obs.tracer import get_tracer
+from repro.utils.timing import now_s
 
 __all__ = [
     "BACKEND_NAMES",
@@ -66,11 +68,62 @@ class ExecutionBackend(abc.ABC):
     name: str = "?"
 
     def run_super_step(self, plan: SuperStepPlan):
-        """Execute one plan: kernels (timed), then the serial finalize."""
-        started = time.perf_counter()
+        """Execute one plan: kernels (timed), then the serial finalize.
+
+        With tracing enabled the kernel stage is wrapped in an ``exec``
+        span, the plan is asked to collect per-kernel worker timings, and
+        those ride back under each GPU's reserved ``"_spans"`` output key —
+        drained here (per-GPU tracks, ``tid = gpu + 1``) before the fold
+        ever sees the outputs.  Wall accounting is identical either way.
+        """
+        tracer = get_tracer()
+        plan.collect_spans = tracer.enabled
+        started = now_s()
         outputs = self._execute_kernels(plan)
-        plan.wall["kernels"] += time.perf_counter() - started
+        ended = now_s()
+        plan.wall["kernels"] += ended - started
+        if tracer.enabled:
+            tracer.record_span(
+                "kernels", cat="exec", start=started, dur=ended - started,
+                args={"level": plan.level, "backend": self.name},
+            )
+            self._drain_worker_spans(tracer, outputs, started, ended)
         return plan.finalize(outputs)
+
+    def _drain_worker_spans(self, tracer, outputs: list, started: float, ended: float) -> None:
+        """Replay each GPU's collected kernel timings into the tracer.
+
+        Worker timestamps are relative to the worker's own clock ``base``.
+        In-process executions (inline/thread) share the coordinator's clock,
+        so ``base`` is used directly; a process-pool worker's clock may not
+        be comparable (``perf_counter`` is only guaranteed per-process), so
+        any ``base`` outside the kernel-stage window is rebased onto the
+        stage start — spans then still nest under the ``kernels`` span even
+        on platforms with per-process clocks.
+        """
+        append = tracer.events.append
+        for gpu, outs in enumerate(outputs):
+            collected = worker_spans(outs)
+            if not collected:
+                continue
+            base = collected["base"]
+            if not started <= base <= ended:
+                base = started
+            tid = gpu + 1
+            # Hot path: wall-heavy traces replay hundreds of thousands of
+            # worker tuples, so events are appended pre-normalized (the
+            # documented ``Tracer.events`` shape) instead of going through
+            # ``record_span``.  The GPU is encoded by the track (tid - 1).
+            for name, rel_start, dur in collected["spans"]:
+                append({
+                    "name": name,
+                    "cat": "worker",
+                    "ph": "X",
+                    "ts": (base + rel_start) * 1e6,
+                    "dur": dur * 1e6 if dur > 0.0 else 0.0,
+                    "pid": 0,
+                    "tid": tid,
+                })
 
     @abc.abstractmethod
     def _execute_kernels(self, plan: SuperStepPlan) -> list:
@@ -111,13 +164,15 @@ class InlineBackend(ExecutionBackend):
         if plan.batched:
             return [
                 execute_batched_gpu_plan(
-                    gp, self._resolve_csr, plan.dense_delegate, provider=plan.provider
+                    gp, self._resolve_csr, plan.dense_delegate, provider=plan.provider,
+                    collect_spans=plan.collect_spans,
                 )
                 for gp in plan.gpu_plans
             ]
         return [
             execute_gpu_plan(
-                gp, self._resolve_csr, plan.delegate_flags, provider=plan.provider
+                gp, self._resolve_csr, plan.delegate_flags, provider=plan.provider,
+                collect_spans=plan.collect_spans,
             )
             for gp in plan.gpu_plans
         ]

@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exec.providers import get_provider
+from repro.utils.timing import now_s
 
 __all__ = [
     "VisitSpec",
@@ -43,6 +44,7 @@ __all__ = [
     "SuperStepPlan",
     "execute_gpu_plan",
     "execute_batched_gpu_plan",
+    "worker_spans",
 ]
 
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
@@ -172,6 +174,12 @@ class SuperStepPlan:
     #: kernels (``None`` = NumPy).  In-process backends use it directly;
     #: remote backends ship its ``name`` and re-resolve in the worker.
     provider: object | None = None
+    #: When ``True`` (set by the backend iff tracing is enabled) every
+    #: per-GPU execution records its kernel timings under the reserved
+    #: ``"_spans"`` output key, which the backend pops and replays into the
+    #: tracer before ``finalize`` runs.  Folding code accesses outputs
+    #: strictly by kernel key, so the extra entry is invisible to it.
+    collect_spans: bool = False
 
 
 def execute_gpu_plan(
@@ -180,6 +188,7 @@ def execute_gpu_plan(
     delegate_flags: np.ndarray | None,
     strip_sources: bool = False,
     provider=None,
+    collect_spans: bool = False,
 ) -> dict:
     """Run every sequential visit task of one GPU; outputs keyed by kernel.
 
@@ -190,12 +199,18 @@ def execute_gpu_plan(
     (:mod:`repro.exec.providers`; ``None`` = NumPy).  With ``strip_sources``
     the ``sources`` arrays of tasks that declared ``keep_sources=False`` are
     dropped (they can be as large as the examined edge set, and the fold
-    never reads them).
+    never reads them).  With ``collect_spans`` the per-kernel wall timings
+    ride back under the reserved ``"_spans"`` output key (see
+    :func:`worker_spans`); when ``False`` — the default, and always when
+    tracing is off — the kernel loop performs no timing work at all.
     """
     if provider is None:
         provider = get_provider("numpy")
     outputs: dict = {}
+    spans = [] if collect_spans else None
+    base = now_s() if collect_spans else 0.0
     for spec in gpu_plan.visits:
+        started = now_s() if collect_spans else 0.0
         csr = resolve_csr(gpu_plan.gpu, spec.csr)
         if spec.backward:
             flags = gpu_plan.normal_flags if spec.flags == "normal" else delegate_flags
@@ -209,6 +224,12 @@ def execute_gpu_plan(
         if strip_sources and not spec.keep_sources:
             out.sources = _EMPTY_I64
         outputs[spec.kernel] = out
+        if collect_spans:
+            ended = now_s()
+            kind = "pull" if spec.backward else "push"
+            spans.append((f"{spec.kernel}:{kind}", started - base, ended - started))
+    if collect_spans:
+        outputs["_spans"] = {"base": base, "spans": spans}
     return outputs
 
 
@@ -217,12 +238,20 @@ def execute_batched_gpu_plan(
     resolve_csr: Callable[[int, str], object],
     dense_delegate: np.ndarray | None,
     provider=None,
+    collect_spans: bool = False,
 ) -> dict:
-    """Run every batched visit task of one GPU; outputs keyed by kernel."""
+    """Run every batched visit task of one GPU; outputs keyed by kernel.
+
+    ``collect_spans`` mirrors :func:`execute_gpu_plan`: per-kernel timings
+    ride back under the reserved ``"_spans"`` key.
+    """
     if provider is None:
         provider = get_provider("numpy")
     outputs: dict = {}
+    spans = [] if collect_spans else None
+    base = now_s() if collect_spans else 0.0
     for spec in gpu_plan.visits:
+        started = now_s() if collect_spans else 0.0
         csr = resolve_csr(gpu_plan.gpu, spec.csr)
         if spec.backward:
             parents = (
@@ -232,4 +261,21 @@ def execute_batched_gpu_plan(
         else:
             out = provider.batched_forward_visit(csr, spec.rows, spec.words)
         outputs[spec.kernel] = out
+        if collect_spans:
+            ended = now_s()
+            kind = "pull" if spec.backward else "push"
+            spans.append((f"{spec.kernel}:{kind}", started - base, ended - started))
+    if collect_spans:
+        outputs["_spans"] = {"base": base, "spans": spans}
     return outputs
+
+
+def worker_spans(outputs: dict) -> dict | None:
+    """Pop the reserved ``"_spans"`` entry from one GPU's kernel outputs.
+
+    Returns ``{"base": <worker clock at loop start>, "spans": [(name,
+    rel_start_s, dur_s), ...]}`` or ``None`` when the execution did not
+    collect spans.  Backends call this before handing outputs to
+    ``finalize`` so the fold never sees the reserved key.
+    """
+    return outputs.pop("_spans", None)

@@ -134,6 +134,7 @@ def _run_task(task: tuple):
         nwords,
         has_own_flags,
         provider_name,
+        collect_spans,
     ) = task
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else SegmentCache()
     csrs = csrs_from_descriptor(cache, graph_descriptor)
@@ -156,7 +157,8 @@ def _run_task(task: tuple):
         )
         plan = BatchedGPUPlan(gpu, visits, dense_normal if has_own_flags else None)
         return gpu, execute_batched_gpu_plan(
-            plan, resolve_csr, dense_delegate, provider=provider
+            plan, resolve_csr, dense_delegate, provider=provider,
+            collect_spans=collect_spans,
         )
 
     segment, num_delegates, offsets, num_locals = flags_descriptor
@@ -168,7 +170,8 @@ def _run_task(task: tuple):
     )
     plan = GPUPlan(gpu, visits, normal_flags)
     return gpu, execute_gpu_plan(
-        plan, resolve_csr, delegate_flags, strip_sources=True, provider=provider
+        plan, resolve_csr, delegate_flags, strip_sources=True, provider=provider,
+        collect_spans=collect_spans,
     )
 
 
@@ -261,6 +264,7 @@ class ProcessBackend(ExecutionBackend):
                         nwords,
                         has_dense,
                         provider_name,
+                        plan.collect_spans,
                     )
                 )
         else:
@@ -281,6 +285,7 @@ class ProcessBackend(ExecutionBackend):
                         0,
                         has_flags,
                         provider_name,
+                        plan.collect_spans,
                     )
                 )
         # chunksize=1: per-GPU work is heterogeneous (delegate-heavy GPUs do

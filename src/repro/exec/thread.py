@@ -95,6 +95,7 @@ class ThreadBackend(ExecutionBackend):
                     self._resolve_csr,
                     plan.dense_delegate,
                     plan.provider,
+                    plan.collect_spans,
                 )
                 for gp in plan.gpu_plans
             ]
@@ -107,6 +108,7 @@ class ThreadBackend(ExecutionBackend):
                     plan.delegate_flags,
                     False,
                     plan.provider,
+                    plan.collect_spans,
                 )
                 for gp in plan.gpu_plans
             ]

@@ -1,0 +1,43 @@
+"""Unified observability: tracing, metrics, and profiling across the stack.
+
+The package has three legs, all zero-overhead when disabled:
+
+- :mod:`repro.obs.tracer` — nested spans + structured events behind one
+  process-wide tracer (:func:`get_tracer`/:func:`set_tracer`); disabled
+  tracing returns an allocation-free no-op singleton.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms and Prometheus text
+  exposition of any ``stats_snapshot()`` dictionary.
+- :mod:`repro.obs.exporters` / :mod:`repro.obs.summary` — JSONL and Chrome
+  ``trace_event`` artifacts plus the ``repro trace summarize`` aggregation.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to read a trace
+of a direction-optimizing run.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry, prometheus_text
+from repro.obs.summary import summarize_events, summary_lines
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "MetricsRegistry",
+    "prometheus_text",
+    "chrome_trace",
+    "load_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+    "summarize_events",
+    "summary_lines",
+]

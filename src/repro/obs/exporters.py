@@ -1,0 +1,78 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, and loaders.
+
+Tracer events are already stored in Chrome ``trace_event`` shape with
+microsecond timestamps (see :mod:`repro.obs.tracer`), so exporting is pure
+serialization:
+
+``write_chrome_trace``
+    The ``{"traceEvents": [...]}`` object format — drag the file into
+    Perfetto or ``chrome://tracing`` and the engine's super-steps, the
+    per-worker kernel spans and the serving tier's virtual-time requests
+    render as nested tracks.
+``write_jsonl``
+    One event per line — greppable, streamable, diffable.
+``write_trace``
+    Picks the format from the path suffix (``.jsonl`` → JSONL, anything
+    else → Chrome JSON), which is what the CLI's ``--trace PATH`` uses.
+``load_trace``
+    Reads either format back into an event list for ``trace summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "write_trace", "load_trace"]
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """The Chrome ``trace_event`` object format for ``events``."""
+    return {"traceEvents": list(events), "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: list[dict], path: str | Path) -> Path:
+    """Write ``events`` as Chrome ``trace_event`` JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events)) + "\n")
+    return path
+
+
+def write_jsonl(events: list[dict], path: str | Path) -> Path:
+    """Write ``events`` one-JSON-object-per-line; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event))
+            fh.write("\n")
+    return path
+
+
+def write_trace(tracer, path: str | Path) -> Path:
+    """Export a tracer's events, choosing the format from the suffix.
+
+    ``.jsonl`` writes line-delimited events; every other suffix writes the
+    Chrome ``trace_event`` object format.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(tracer.events, path)
+    return write_chrome_trace(tracer.events, path)
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a trace written by :func:`write_trace`, either format.
+
+    Returns the flat event list; raises ``ValueError`` on files that are
+    neither a Chrome ``trace_event`` object/array nor JSONL events.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    payload = json.loads(text)
+    if isinstance(payload, dict) and isinstance(payload.get("traceEvents"), list):
+        return payload["traceEvents"]
+    if isinstance(payload, list):
+        return payload
+    raise ValueError(f"{path} is not a trace artifact (no traceEvents array)")

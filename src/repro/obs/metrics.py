@@ -1,0 +1,113 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+:class:`MetricsRegistry` is the pull-model companion to the tracer's push
+model: layers bump named counters/gauges/histograms, and the registry
+renders one Prometheus text-exposition snapshot on demand.  The histogram
+is the serving tier's exact :class:`repro.serve.cluster.LatencyHistogram`
+(nearest-rank quantiles, log-spaced buckets), so latency numbers in metrics
+and in cluster snapshots can never disagree.
+
+:func:`prometheus_text` additionally flattens any nested ``stats_snapshot()``
+dictionary (the serve/cluster tiers already expose those) into Prometheus
+lines, so ``repro serve bench --prom`` needs no per-counter registration.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["MetricsRegistry", "prometheus_text"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(*parts: str) -> str:
+    """Join path components into one valid Prometheus metric name."""
+    return _NAME_OK.sub("_", "_".join(p.strip("_") for p in parts if p))
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one snapshot.
+
+    All three families are created on first touch, so instrumented code
+    never declares metrics up front:
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("queries", 3)
+    >>> registry.gauge("inflight", 7)
+    >>> registry.histogram("flush_ms").record(1.5)
+    >>> registry.snapshot()["counters"]["queries"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, object] = {}
+
+    def counter(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to the monotonic counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def histogram(self, name: str):
+        """The (lazily created) histogram ``name``; call ``.record(ms)`` on it.
+
+        Histograms are :class:`repro.serve.cluster.LatencyHistogram`
+        instances (imported lazily — the serve tier itself records metrics,
+        so a module-level import would be circular): exact nearest-rank
+        quantiles over log-spaced buckets.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            from repro.serve.cluster.histogram import LatencyHistogram
+
+            hist = self._histograms[name] = LatencyHistogram()
+        return hist
+
+    def snapshot(self) -> dict:
+        """All metrics in one JSON-stable dictionary."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: hist.snapshot() for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render every metric as Prometheus text exposition."""
+        return prometheus_text(self.snapshot(), prefix=prefix)
+
+
+def _flatten(prefix: str, value, lines: list) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(_metric_name(prefix, str(key)), sub, lines)
+    elif isinstance(value, (list, tuple)):
+        for index, sub in enumerate(value):
+            _flatten(_metric_name(prefix, str(index)), sub, lines)
+    elif isinstance(value, bool):
+        lines.append(f"{prefix} {int(value)}")
+    elif isinstance(value, (int, float)):
+        lines.append(f"{prefix} {value}")
+    # Strings and None carry no sample; they are dropped from exposition.
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Flatten a nested snapshot dictionary into Prometheus text lines.
+
+    Every numeric leaf becomes one ``<prefix>_<path> <value>`` sample with
+    path components joined by ``_`` and sanitized to the Prometheus name
+    charset; booleans export as 0/1, strings and ``None`` are skipped.
+    The output ends with a newline, as the exposition format requires.
+
+    >>> print(prometheus_text({"service": {"queries": 4}}), end="")
+    repro_service_queries 4
+    """
+    lines: list[str] = []
+    _flatten(_metric_name(prefix), snapshot, lines)
+    return "\n".join(lines) + "\n"

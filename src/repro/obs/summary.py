@@ -1,0 +1,62 @@
+"""Aggregating a trace into per-span-kind totals (``repro trace summarize``).
+
+A raw trace of a quick-suite run holds thousands of events; the summary
+collapses them to one row per ``(category, name)`` — count, total/mean/max
+duration — which answers the paper-level question ("where does super-step
+time go: kernels, exchange, or delegate reduce?") without opening Perfetto.
+"""
+
+from __future__ import annotations
+
+__all__ = ["summarize_events", "summary_lines"]
+
+
+def summarize_events(events: list[dict]) -> dict:
+    """Aggregate trace events per ``(cat, name)``.
+
+    Returns ``{"events": total, "spans": {"cat/name": {count, total_ms,
+    mean_ms, max_ms}}, "instants": {"cat/name": count}}``, with span keys
+    sorted by descending total duration so the hottest rows lead.
+    """
+    spans: dict[str, dict] = {}
+    instants: dict[str, int] = {}
+    for event in events:
+        key = f"{event.get('cat', '?')}/{event.get('name', '?')}"
+        if event.get("ph") == "X":
+            row = spans.setdefault(key, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+            dur_ms = float(event.get("dur", 0.0)) / 1e3
+            row["count"] += 1
+            row["total_ms"] += dur_ms
+            if dur_ms > row["max_ms"]:
+                row["max_ms"] = dur_ms
+        else:
+            instants[key] = instants.get(key, 0) + 1
+    for row in spans.values():
+        row["mean_ms"] = row["total_ms"] / row["count"] if row["count"] else 0.0
+    ordered = dict(
+        sorted(spans.items(), key=lambda item: (-item[1]["total_ms"], item[0]))
+    )
+    return {
+        "events": len(events),
+        "spans": ordered,
+        "instants": dict(sorted(instants.items())),
+    }
+
+
+def summary_lines(summary: dict) -> list[str]:
+    """Human-readable table for one :func:`summarize_events` result."""
+    lines = [f"{summary['events']} events"]
+    if summary["spans"]:
+        lines.append(
+            f"  {'span':<36} {'count':>7} {'total ms':>12} {'mean ms':>10} {'max ms':>10}"
+        )
+        for key, row in summary["spans"].items():
+            lines.append(
+                f"  {key:<36} {row['count']:>7} {row['total_ms']:>12.3f} "
+                f"{row['mean_ms']:>10.3f} {row['max_ms']:>10.3f}"
+            )
+    if summary["instants"]:
+        lines.append("  instant events:")
+        for key, count in summary["instants"].items():
+            lines.append(f"    {key:<34} {count:>7}")
+    return lines

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer
 from repro.serve.cluster.histogram import LatencyHistogram
 from repro.serve.cluster.openloop import TimedQuery, TimedUpdate
 from repro.serve.cluster.replica import ReplicaPool
@@ -230,12 +231,23 @@ class ClusterDispatcher:
 
     def _on_arrival(self, item: TimedQuery, tasks: list, on_answer) -> None:
         self.stats.arrivals += 1
+        tracer = get_tracer()
         if self._updating:
             self.stats.shed += 1
             self.stats.shed_during_update += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "shed", cat="cluster", ts=self._loop.time(), unit="ms",
+                    args={"reason": "update", "index": item.index},
+                )
             return
         if self.config.queue_limit and self._in_flight >= self.config.queue_limit:
             self.stats.shed += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "shed", cat="cluster", ts=self._loop.time(), unit="ms",
+                    args={"reason": "queue-limit", "index": item.index},
+                )
             return
         self.stats.admitted += 1
         self._in_flight += 1
@@ -268,7 +280,15 @@ class ClusterDispatcher:
                     self._hedge(item, fut, rid, delay, hstate)
                 )
         result, responder = await fut
-        self.hist.record(self._loop.time() - item.at_ms)
+        latency_ms = self._loop.time() - item.at_ms
+        self.hist.record(latency_ms)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                "request", cat="cluster", start=item.at_ms, dur=latency_ms,
+                tid=rid + 1, unit="ms",
+                args={"responder": responder, "rid": rid, "index": item.index},
+            )
         self._fold_answer(item.index, result)
         if on_answer is not None:
             on_answer(item.index, result)
@@ -309,13 +329,25 @@ class ClusterDispatcher:
         if fut.done():
             state["finished"] = True
             return
+        tracer = get_tracer()
         rid = self._pick_idle(primary_rid)
         if rid is None:
             self.stats.hedges_skipped += 1
             state["finished"] = True
+            if tracer.enabled:
+                tracer.instant(
+                    "hedge-skip", cat="cluster", ts=self._loop.time(), unit="ms",
+                    args={"index": item.index},
+                )
             return
         self.stats.hedges_issued += 1
         state["issued"] = True
+        if tracer.enabled:
+            tracer.instant(
+                "hedge-fire", cat="cluster", ts=self._loop.time(),
+                tid=rid + 1, unit="ms",
+                args={"index": item.index, "rid": rid, "primary_rid": primary_rid},
+            )
         self._hedge_slots[rid] = (asyncio.current_task(), state)
         try:
             result, service_ms = self.pool[rid].probe_hedge(item.query)
@@ -341,6 +373,12 @@ class ClusterDispatcher:
                 self.stats.hedges_preempted += 1
                 task.cancel()
                 self._hedge_slots[rid] = None
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.instant(
+                        "hedge-preempt", cat="cluster", ts=self._loop.time(),
+                        tid=rid + 1, unit="ms", args={"rid": rid},
+                    )
             self._busy[rid] = item
             result, service_ms, _hit = replica.serve_primary(item.query)
             await asyncio.sleep(service_ms)
@@ -359,12 +397,20 @@ class ClusterDispatcher:
         # Drain barrier: the delta applies once all admitted work has left
         # the system — the cluster-wide analogue of apply_delta's
         # flush-then-mutate contract, and primary-driven in both modes.
+        started_ms = self._loop.time()
         while self._in_flight > 0:
             self._drained.clear()
             await self._drained.wait()
         self.pool.apply_delta(item.delta)
         self.stats.updates += 1
         self._updating -= 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                "update-fanout", cat="cluster", start=started_ms,
+                dur=self._loop.time() - started_ms, unit="ms",
+                args={"replicas": len(self.pool)},
+            )
 
     # ------------------------------------------------------------------ #
     # Accounting

@@ -37,7 +37,6 @@ scenarios can sit in the perf-regression harness next to the traversal ones.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.programs import (
@@ -46,8 +45,10 @@ from repro.core.programs import (
     BFSLevels,
     KHopReachability,
 )
+from repro.obs.tracer import get_tracer
 from repro.serve.cache import LRUCache, graph_token
 from repro.serve.workload import Query
+from repro.utils.timing import now_s
 
 __all__ = ["ServiceStats", "QueryService"]
 
@@ -215,23 +216,32 @@ class QueryService:
         when batching is on — and their results cached.
         """
         pending, self._pending = self._pending, []
-        started = time.perf_counter()
+        tracer = get_tracer()
+        started = now_s()
         # Keys are computed at flush time, not admission time: a delta applied
         # between submit and flush bumps the graph version, and the flush must
         # answer against the mutated graph, not a retired epoch.
         pending = [(query, self.key_of(query)) for query in pending]
         answers: dict[tuple, object] = {}
         miss_queries: list[Query] = []
+        hits = 0
         for query, key in pending:
             if key in answers:
                 self.stats.coalesced += 1
+                if tracer.enabled:
+                    tracer.event("coalesce", cat="serve", source=int(query.source))
                 continue
             cached = self.cache.get(key)
             if cached is not None:
                 answers[key] = cached
+                hits += 1
+                if tracer.enabled:
+                    tracer.event("cache-hit", cat="serve", source=int(query.source))
             else:
                 answers[key] = None  # placeholder: traversal pending
                 miss_queries.append(query)
+                if tracer.enabled:
+                    tracer.event("cache-miss", cat="serve", source=int(query.source))
 
         for family, queries in self._group_misses(miss_queries).items():
             for start in range(0, len(queries), self.batch_size):
@@ -241,10 +251,19 @@ class QueryService:
         results = [answers[key] for _, key in pending]
         self.stats.queries += len(pending)
         self.stats.flushes += 1
-        elapsed = time.perf_counter() - started
+        elapsed = now_s() - started
         self.stats.wall_s += elapsed
         if elapsed > self.stats.flush_wall_max_s:
             self.stats.flush_wall_max_s = elapsed
+        if tracer.enabled:
+            tracer.record_span(
+                "flush", cat="serve", start=started, dur=elapsed,
+                args={
+                    "queries": len(pending),
+                    "hits": hits,
+                    "misses": len(miss_queries),
+                },
+            )
         return results
 
     def serve(self, queries, wave_size: int | None = None) -> list:
@@ -299,12 +318,20 @@ class QueryService:
             )
         if flush_pending and self._pending:
             self.flush()
-        started = time.perf_counter()
+        tracer = get_tracer()
+        started = now_s()
         applied = apply(delta)
         self.stats.updates += 1
         self.stats.epoch_bumps += 1
-        self.stats.entries_invalidated += self.cache.clear()
-        self.stats.update_wall_s += time.perf_counter() - started
+        invalidated = self.cache.clear()
+        self.stats.entries_invalidated += invalidated
+        elapsed = now_s() - started
+        self.stats.update_wall_s += elapsed
+        if tracer.enabled:
+            tracer.record_span(
+                "epoch-bump", cat="serve", start=started, dur=elapsed,
+                args={"invalidated": invalidated},
+            )
         return applied
 
     def invalidate_epoch(self) -> int:

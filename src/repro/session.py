@@ -142,6 +142,8 @@ class Session:
         self._edges: EdgeList | None = None
         self._threshold: int | _Auto = auto
         self._built: GraphSession | None = None
+        self._tracer = None
+        self._trace_path: Path | None = None
 
     # ------------------------------------------------------------------ #
     # Configuration (each returns self)
@@ -274,6 +276,49 @@ class Session:
         self._built = None
         return self
 
+    def trace(self, path: str | Path | None = None) -> "Session":
+        """Enable tracing: install this session's tracer process-wide.
+
+        Every traversal, super-step and serving operation run after this
+        call records spans into the session's :class:`repro.obs.Tracer`
+        (one per session, created on first call).  ``path`` pins a default
+        export destination for :meth:`write_trace`.  Tracing never changes
+        results or counters — only wall clock, within noise.
+
+        >>> import repro  # doctest: +SKIP
+        >>> s = repro.session().generate(scale=14).trace("run.trace.json")
+        >>> s.bfs(0); s.write_trace()
+        """
+        from repro.obs import Tracer, set_tracer
+
+        if self._tracer is None:
+            self._tracer = Tracer()
+        set_tracer(self._tracer)
+        if path is not None:
+            self._trace_path = Path(path)
+        return self
+
+    @property
+    def tracer(self):
+        """The session's tracer (``None`` until :meth:`trace` is called)."""
+        return self._tracer
+
+    def write_trace(self, path: str | Path | None = None) -> Path:
+        """Export the collected trace; format picked by suffix.
+
+        ``.jsonl`` writes line-delimited events, anything else Chrome
+        ``trace_event`` JSON.  ``path`` defaults to the one given to
+        :meth:`trace`.
+        """
+        from repro.obs import write_trace
+
+        if self._tracer is None:
+            raise RuntimeError("tracing is not enabled: call .trace() first")
+        target = Path(path) if path is not None else self._trace_path
+        if target is None:
+            raise RuntimeError("no trace path: pass one here or to .trace(path)")
+        return write_trace(self._tracer, target)
+
     # ------------------------------------------------------------------ #
     # Building and running
     # ------------------------------------------------------------------ #
@@ -377,6 +422,8 @@ class GraphSession:
         self.graph = graph
         self.engine = engine
         self._dynamic = None
+        self._tracer = None
+        self._trace_path: Path | None = None
 
     # ------------------------------------------------------------------ #
     # Generic execution
@@ -410,6 +457,33 @@ class GraphSession:
         """
         self.engine.use_kernels(kernels)
         return self
+
+    def trace(self, path: str | Path | None = None) -> "GraphSession":
+        """Enable tracing on the built graph; see :meth:`Session.trace`."""
+        from repro.obs import Tracer, set_tracer
+
+        if self._tracer is None:
+            self._tracer = Tracer()
+        set_tracer(self._tracer)
+        if path is not None:
+            self._trace_path = Path(path)
+        return self
+
+    @property
+    def tracer(self):
+        """The tracer installed by :meth:`trace` (``None`` until called)."""
+        return self._tracer
+
+    def write_trace(self, path: str | Path | None = None) -> Path:
+        """Export the collected trace; see :meth:`Session.write_trace`."""
+        from repro.obs import write_trace
+
+        if self._tracer is None:
+            raise RuntimeError("tracing is not enabled: call .trace() first")
+        target = Path(path) if path is not None else self._trace_path
+        if target is None:
+            raise RuntimeError("no trace path: pass one here or to .trace(path)")
+        return write_trace(self._tracer, target)
 
     @property
     def kernels_name(self) -> str:

@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.exec.providers import KernelProvider
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import get_tracer
+from repro.utils.timing import now_s
 
 __all__ = [
     "CompressedCSR",
@@ -261,7 +263,18 @@ class DecodingProvider(KernelProvider):
 
     @staticmethod
     def _dense(csr, rows):
-        return csr.decode_rows(rows) if isinstance(csr, CompressedCSR) else csr
+        if not isinstance(csr, CompressedCSR):
+            return csr
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return csr.decode_rows(rows)
+        started = now_s()
+        dense = csr.decode_rows(rows)
+        tracer.record_span(
+            "lazy-decode", cat="storage", start=started, dur=now_s() - started,
+            args={"rows": int(len(rows))},
+        )
+        return dense
 
     def filter_frontier(self, frontier, out_degrees):
         """Delegate (degree arrays are stored raw in every storage mode)."""

@@ -33,7 +33,6 @@ counter gates exact rather than approximate.
 from __future__ import annotations
 
 import shutil
-import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -47,9 +46,11 @@ from repro.partition.delegates import (
 )
 from repro.partition.distributor import EDGE_CATEGORIES, distribute_edges
 from repro.partition.layout import ClusterLayout
+from repro.obs.tracer import get_tracer
 from repro.storage.codec import varint_encode, varint_sizes
 from repro.storage.segments import SegmentWriter, _census_metadata
 from repro.utils.rng import deterministic_hash_permutation
+from repro.utils.timing import now_s
 
 __all__ = ["external_build", "DEFAULT_BLOCK_EDGES"]
 
@@ -253,7 +254,7 @@ def external_build(
     n64 = np.int64(n)
 
     # Pass 1: ingest — prepare each chunk independently into a sorted run.
-    t0 = time.perf_counter()
+    t0 = now_s()
     perm = deterministic_hash_permutation(n, seed=hash_seed) if hash_seed is not None else None
     runs: list[Path] = []
     num_chunks = 0
@@ -281,10 +282,13 @@ def external_build(
         with open(path, "wb") as fh:
             fh.write(keys.tobytes())
         runs.append(path)
-    walls["ingest"] = time.perf_counter() - t0
+    walls["ingest"] = now_s() - t0
+    get_tracer().record_span(
+        "extsort-ingest", cat="storage", start=t0, dur=walls["ingest"]
+    )
 
     # Pass 2: merge — global sorted dedup + exact out-degree accumulation.
-    t0 = time.perf_counter()
+    t0 = now_s()
     degrees = np.zeros(n, dtype=np.int64)
     keys_path = scratch / "keys.bin"
     num_edges = 0
@@ -298,15 +302,21 @@ def external_build(
             out_fh.write(merged.tobytes())
             num_edges += merged.size
             readers = [r for r in readers if not r.exhausted]
-    walls["merge"] = time.perf_counter() - t0
+    walls["merge"] = now_s() - t0
+    get_tracer().record_span(
+        "extsort-merge", cat="storage", start=t0, dur=walls["merge"]
+    )
 
     # Pass 3 (optional): replay the paper's threshold tuning rule, streamed.
-    t0 = time.perf_counter()
+    t0 = now_s()
     if threshold is None:
         threshold = _stream_suggest_threshold(
             keys_path, degrees, n, num_edges, layout.num_gpus, block_edges
         )
-    walls["threshold"] = time.perf_counter() - t0
+    walls["threshold"] = now_s() - t0
+    get_tracer().record_span(
+        "extsort-threshold", cat="storage", start=t0, dur=walls["threshold"]
+    )
 
     is_delegate = degrees > threshold
     delegate_vertices = np.flatnonzero(is_delegate).astype(np.int64)
@@ -325,7 +335,7 @@ def external_build(
     # Pass 4: distribute — Algorithm 1 per block, columns appended per bucket.
     # The sorted key stream + monotone row/column transforms mean each bucket
     # file is already in final CSR order as it lands on disk.
-    t0 = time.perf_counter()
+    t0 = now_s()
     num_local = {g: layout.num_local_vertices(g, n) for g in range(p)}
     bucket_rows = {
         (g, key): np.zeros(num_local[g] if key in ("nn", "nd") else d, dtype=np.int64)
@@ -368,7 +378,10 @@ def external_build(
     finally:
         for fh in bucket_fh.values():
             fh.close()
-    walls["distribute"] = time.perf_counter() - t0
+    walls["distribute"] = now_s() - t0
+    get_tracer().record_span(
+        "extsort-distribute", cat="storage", start=t0, dur=walls["distribute"]
+    )
 
     census = EdgeCategoryCensus(
         threshold=int(threshold),
@@ -383,7 +396,7 @@ def external_build(
 
     # Pass 5: assemble — the store segment, in the same array layout the
     # in-memory saver (save_graph_store) produces.
-    t0 = time.perf_counter()
+    t0 = now_s()
     writer = SegmentWriter(out)
     writer.add("sep.degrees", degrees)
     writer.add("sep.is_delegate", is_delegate)
@@ -445,7 +458,10 @@ def external_build(
             "gpus": gpus_meta,
         }
     )
-    walls["assemble"] = time.perf_counter() - t0
+    walls["assemble"] = now_s() - t0
+    get_tracer().record_span(
+        "extsort-assemble", cat="storage", start=t0, dur=walls["assemble"]
+    )
 
     if not keep_scratch:
         shutil.rmtree(scratch, ignore_errors=True)

@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import get_tracer
 from repro.partition.delegates import DegreeSeparation, EdgeCategoryCensus
 from repro.partition.layout import ClusterLayout
 from repro.partition.subgraphs import GPUPartition, PartitionedGraph
@@ -149,21 +150,23 @@ class StoreHandle:
         manifest_path = self.directory / MANIFEST_NAME
         if not manifest_path.exists():
             raise FileNotFoundError(f"{self.directory} is not a graph store (no {MANIFEST_NAME})")
-        with manifest_path.open("r", encoding="utf-8") as fh:
-            self.manifest = json.load(fh)
-        if self.manifest.get("schema") != SCHEMA:
-            raise ValueError(f"{manifest_path} has schema {self.manifest.get('schema')!r}")
-        if self.manifest.get("version") not in SUPPORTED_VERSIONS:
-            raise ValueError(
-                f"unsupported store version {self.manifest.get('version')!r} "
-                f"(this build reads versions {SUPPORTED_VERSIONS})"
+        with get_tracer().span("mmap-attach", cat="storage") as span:
+            with manifest_path.open("r", encoding="utf-8") as fh:
+                self.manifest = json.load(fh)
+            if self.manifest.get("schema") != SCHEMA:
+                raise ValueError(f"{manifest_path} has schema {self.manifest.get('schema')!r}")
+            if self.manifest.get("version") not in SUPPORTED_VERSIONS:
+                raise ValueError(
+                    f"unsupported store version {self.manifest.get('version')!r} "
+                    f"(this build reads versions {SUPPORTED_VERSIONS})"
+                )
+            self.segment_path = self.directory / SEGMENT_NAME
+            self._file = open(self.segment_path, "rb")
+            size = os.fstat(self._file.fileno()).st_size
+            self._mm = (
+                mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ) if size else None
             )
-        self.segment_path = self.directory / SEGMENT_NAME
-        self._file = open(self.segment_path, "rb")
-        size = os.fstat(self._file.fileno()).st_size
-        self._mm = (
-            mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ) if size else None
-        )
+            span.annotate(store=str(self.directory), bytes=size)
 
     def array(self, name: str) -> np.ndarray:
         """Zero-copy view of a named array in the segment."""

@@ -21,7 +21,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
-__all__ = ["Timer", "SimClock", "TimingBreakdown", "PHASES"]
+__all__ = ["now_s", "Timer", "SimClock", "TimingBreakdown", "PHASES"]
+
+#: The canonical span/wall clock of the whole repo: monotonic seconds.
+#:
+#: Every wall-clock measurement — engine super-step phases, backend kernel
+#: batches, service flushes, bench phase minima, storage build passes — and
+#: every :mod:`repro.obs` tracer span reads this one clock, so bench records
+#: and trace artifacts can never disagree about where time went, and no
+#: call site can accidentally mix the wall clock (``time.time``) into a
+#: duration.  The only other clock in the system is the *virtual* clock of
+#: ``repro.serve.cluster``, which the tracer handles via explicit-timestamp
+#: spans.
+now_s = time.perf_counter
 
 #: Phase names used in the paper's runtime-breakdown figures.
 PHASES = (
@@ -48,12 +60,12 @@ class Timer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = now_s()
         return self
 
     def __exit__(self, *exc: object) -> None:
         assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = now_s() - self._start
 
 
 class SimClock:

@@ -26,14 +26,13 @@ contribution model is degree-based, so edge weights are ignored.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.cluster.comm import Communicator
 from repro.core.results import IterationRecord
 from repro.exec.plan import GPUPlan, SuperStepPlan, VisitSpec
-from repro.utils.timing import TimingBreakdown
+from repro.obs.tracer import get_tracer
+from repro.utils.timing import TimingBreakdown, now_s
 from repro.weighted.results import PageRankResult
 
 __all__ = ["PageRank", "SCALE", "DAMP_DEN", "damped"]
@@ -147,7 +146,7 @@ class PageRank:
         timing = TimingBreakdown()
         total_edges = 0
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
-        run_started = time.perf_counter()
+        run_started = now_s()
 
         if self.mode == "fixed":
             r = np.full(n, SCALE // n, dtype=np.int64)
@@ -194,7 +193,14 @@ class PageRank:
                 total_edges += record.total_edges_examined()
 
         timing.iterations = len(records)
-        wall["traversal"] = time.perf_counter() - run_started
+        wall["traversal"] = now_s() - run_started
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                "traversal", cat="engine", start=run_started,
+                dur=wall["traversal"],
+                args={"program": self.name, "iterations": len(records)},
+            )
         base = {
             "iterations": len(records),
             "records": records,
@@ -248,7 +254,7 @@ class PageRank:
         d = graph.num_delegates
         dv = graph.delegate_vertices
 
-        plan_started = time.perf_counter()
+        plan_started = now_s()
         gpu_plans: list[GPUPlan] = []
         base_comp = np.zeros(p, dtype=np.float64)
         active_total = 0
@@ -325,8 +331,15 @@ class PageRank:
             delegate_flags=np.zeros(d, dtype=bool),
             provider=engine.provider,
         )
-        wall["kernels"] += time.perf_counter() - plan_started
+        wall["kernels"] += now_s() - plan_started
         record = engine.backend.run_super_step(plan)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                "super-step", cat="engine", start=plan_started,
+                dur=now_s() - plan_started,
+                args={"level": level, "program": self.name},
+            )
         return holder["recv"], record
 
     def _finalize_sweep(
@@ -361,7 +374,7 @@ class PageRank:
         nn_payloads: list[np.ndarray] = []
         per_gpu_comp = base_comp.copy()
         edges_examined = {"nn": 0, "nd": 0, "dn": 0, "dd": 0}
-        fold_started = time.perf_counter()
+        fold_started = now_s()
 
         empty_i64 = np.zeros(0, dtype=np.int64)
         for g in range(p):
@@ -393,8 +406,14 @@ class PageRank:
                     edges_examined[kernel] += out.edges_examined
                     np.add.at(delegate_accum[g], out.discovered, out.values)
 
-        exchange_started = time.perf_counter()
+        tracer = get_tracer()
+        exchange_started = now_s()
         wall["kernels"] += exchange_started - fold_started
+        if tracer.enabled:
+            tracer.record_span(
+                "fold", cat="engine", start=fold_started,
+                dur=exchange_started - fold_started, args={"level": level},
+            )
         exchange = communicator.exchange_normals(
             nn_outboxes,
             local_all2all=opts.local_all2all,
@@ -408,8 +427,13 @@ class PageRank:
             if inbox.size:
                 np.add.at(local_accum[g], inbox, exchange.payload_inboxes[g])
 
-        reduce_started = time.perf_counter()
+        reduce_started = now_s()
         wall["exchange"] += reduce_started - exchange_started
+        if tracer.enabled:
+            tracer.record_span(
+                "nn-exchange", cat="engine", start=exchange_started,
+                dur=reduce_started - exchange_started, args={"level": level},
+            )
         reduce_local_s = 0.0
         reduce_global_s = 0.0
         merged = None
@@ -421,7 +445,13 @@ class PageRank:
             merged = vreduce.merged
             reduce_local_s = vreduce.local_time_s
             reduce_global_s = vreduce.global_time_s
-        wall["delegate_reduce"] += time.perf_counter() - reduce_started
+        reduce_done = now_s()
+        wall["delegate_reduce"] += reduce_done - reduce_started
+        if tracer.enabled:
+            tracer.record_span(
+                "delegate-reduce", cat="engine", start=reduce_started,
+                dur=reduce_done - reduce_started, args={"level": level},
+            )
 
         # Assemble the global received-mass vector.  Ownership is disjoint;
         # mass for delegate vertices arrives only through the nd/dd reduce.

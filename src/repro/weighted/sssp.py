@@ -27,7 +27,6 @@ explicitly; see :meth:`BellmanFordSSSP.accept`.
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
@@ -36,8 +35,9 @@ from repro.core.direction import DirectionState
 from repro.core.programs.base import FrontierProgram, VisitContext, single_source_init
 from repro.core.results import IterationRecord
 from repro.core.state import UNVISITED, TraversalState
+from repro.obs.tracer import get_tracer
 from repro.utils.bitmask import Bitmask
-from repro.utils.timing import TimingBreakdown
+from repro.utils.timing import TimingBreakdown, now_s
 from repro.weighted.results import SSSPResult
 
 __all__ = ["BellmanFordSSSP", "DeltaSteppingSSSP"]
@@ -217,7 +217,8 @@ class DeltaSteppingSSSP(BellmanFordSSSP):
         wall = {"kernels": 0.0, "exchange": 0.0, "delegate_reduce": 0.0}
         backend = engine.backend
         overlay_live = overlay is not None and not overlay.empty
-        run_started = time.perf_counter()
+        tracer = get_tracer()
+        run_started = now_s()
 
         while True:
             bucket = self._lowest_bucket(
@@ -252,16 +253,28 @@ class DeltaSteppingSSSP(BellmanFordSSSP):
 
             if overlay_live:
                 pre_frontier = engine._capture_frontier(state)
-            plan_started = time.perf_counter()
+            plan_started = now_s()
             plan = engine._plan_super_step(
                 self, state, communicator, dir_states, level, wall
             )
-            wall["kernels"] += time.perf_counter() - plan_started
+            wall["kernels"] += now_s() - plan_started
             record = backend.run_super_step(plan)
             if overlay_live:
-                relax_started = time.perf_counter()
+                relax_started = now_s()
                 engine._overlay_relax(self, state, overlay, pre_frontier, level, record)
-                wall["kernels"] += time.perf_counter() - relax_started
+                relax_done = now_s()
+                wall["kernels"] += relax_done - relax_started
+                if tracer.enabled:
+                    tracer.record_span(
+                        "overlay-relax", cat="engine", start=relax_started,
+                        dur=relax_done - relax_started, args={"level": level},
+                    )
+            if tracer.enabled:
+                tracer.record_span(
+                    "super-step", cat="engine", start=plan_started,
+                    dur=now_s() - plan_started,
+                    args={"level": level, "program": self.name, "bucket": int(bucket)},
+                )
 
             # Everything the step changed is pending again — including
             # vertices from the bucket just relaxed whose distance improved
@@ -280,7 +293,13 @@ class DeltaSteppingSSSP(BellmanFordSSSP):
             timing.per_iteration.append(record)
 
         timing.iterations = len(records)
-        wall["traversal"] = time.perf_counter() - run_started
+        wall["traversal"] = now_s() - run_started
+        if tracer.enabled:
+            tracer.record_span(
+                "traversal", cat="engine", start=run_started,
+                dur=wall["traversal"],
+                args={"program": self.name, "iterations": len(records)},
+            )
         base = {
             "iterations": len(records),
             "records": records,

@@ -144,3 +144,86 @@ class TestNewSubcommandsAndJson:
         payload = json.loads(capsys.readouterr().out)
         assert payload["suggested_threshold"] >= 1
         assert all("threshold" in row for row in payload["rows"])
+
+
+class TestTracing:
+    def test_bfs_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import NULL_TRACER, get_tracer, load_trace
+
+        path = tmp_path / "bfs.trace.json"
+        code = main(
+            ["bfs", "--scale", "10", "--layout", "2x1x2", "--source", "1",
+             "--trace", str(path)]
+        )
+        assert code == 0
+        assert get_tracer() is NULL_TRACER  # restored after the command
+        assert "trace:" in capsys.readouterr().err
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        events = load_trace(path)
+        names = {(e["cat"], e["name"]) for e in events}
+        assert ("engine", "traversal") in names
+        assert ("engine", "super-step") in names
+        assert ("exec", "kernels") in names
+
+    def test_trace_env_var_fallback(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        code = main(["bfs", "--scale", "10", "--layout", "2x1x2", "--source", "1"])
+        assert code == 0
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert lines  # JSONL: one event per line
+        import json
+
+        assert all("name" in json.loads(line) for line in lines)
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.trace.json"
+        assert main(
+            ["bfs", "--scale", "10", "--layout", "2x1x2", "--source", "1",
+             "--trace", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine/traversal" in out
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] > 0
+        assert "engine/traversal" in payload["spans"]
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_bench_prom_export(self, tmp_path, capsys):
+        prom = tmp_path / "serve.prom"
+        code = main(
+            ["serve", "bench", "--scale", "10", "--layout", "2x1x2",
+             "--queries", "32", "--no-baseline", "--prom", str(prom), "--json"]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batched"]["service"]["queries"] == 32
+        text = prom.read_text()
+        assert "repro_service_queries 32" in text
+        assert text.endswith("\n")
+
+    def test_traced_run_matches_untraced(self, tmp_path, capsys):
+        """Tracing must not change the traversal's JSON-reported results."""
+        import json
+
+        argv = ["bfs", "--scale", "10", "--layout", "2x1x2", "--source", "1", "--json"]
+        assert main(argv) == 0
+        untraced = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = json.loads(capsys.readouterr().out)
+        for run_a, run_b in zip(untraced["runs"], traced["runs"]):
+            assert run_a["visited"] == run_b["visited"]
+            assert run_a["iterations"] == run_b["iterations"]
